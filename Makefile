@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench quicktest examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+quicktest:
+	pytest tests/ --ignore=tests/test_experiment_drivers.py -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/energy_audit.py
+	python examples/conversion_strategies.py
+	python examples/custom_architecture.py
+	python examples/encoding_comparison.py
+	python examples/event_stream_classification.py
+	python examples/batchnorm_folding.py
+	python examples/neuromorphic_deployment.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``bench`` scale preset (reduced width / epochs / synthetic data, see
+DESIGN.md) and prints the same rows/series the paper reports.  Trained
+contexts and fine-tuned SNNs are cached per process, so running the
+whole directory trains each source network exactly once.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (experiments are long;
+    statistical repetition is meaningless for accuracy tables)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

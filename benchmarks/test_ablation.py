@@ -1,0 +1,58 @@
+"""Section IV-B ablations.
+
+1. Scaling rule: replacing Algorithm 1 with the linear-grid threshold
+   heuristic of [16]/[24] (no beta) and fine-tuning with SGL collapses
+   accuracy at T in {2, 3} (paper: ~10% / ~1%, i.e. chance).
+2. Conversion-only latency: the proposed scaling approaches the DNN at
+   a smaller T than the Deng-style optimal conversion (paper: ~12 vs 16).
+"""
+
+import pytest
+
+from repro.experiments import (
+    render_latency_ablation,
+    render_scaling_ablation,
+    run_latency_ablation,
+    run_scaling_ablation,
+    save_results,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_scaling_rule_ablation(once):
+    rows = once(run_scaling_ablation, dataset="cifar10", timesteps=(2, 3))
+    print()
+    print(render_scaling_ablation(rows))
+    save_results("ablation_scaling", {"rows": rows})
+    for row in rows:
+        # The alpha/beta rule must beat the grid heuristic after SGL.
+        assert row["proposed_sgl_accuracy"] >= row["grid_scaling_sgl_accuracy"] - 5.0
+        # And its conversion initialisation must be no worse.
+        assert (
+            row["proposed_conversion_accuracy"]
+            >= row["grid_scaling_conversion_accuracy"] - 5.0
+        )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_conversion_latency_ablation(once):
+    result = once(
+        run_latency_ablation,
+        dataset="cifar10",
+        timesteps=(2, 3, 4, 5, 8, 12, 16),
+        tolerance=0.25,
+    )
+    print()
+    print(render_latency_ablation(result))
+    save_results("ablation_latency", result)
+    # Paper claim: prior conversion needs a large T (their [15]-style
+    # rule: 16 steps) while the proposed scaling is the ultra-low-T
+    # method.  Robust version at bench scale (single-image noise flips
+    # exact first-T values; see EXPERIMENTS.md for the full discussion):
+    # - at T = 2 the proposed conversion is at least the baseline's;
+    # - the baseline does not reach the tolerance band below T = 8.
+    ours = dict(zip(result["timesteps"], result["sweep"]["proposed"]))
+    deng = dict(zip(result["timesteps"], result["sweep"]["deng_shift"]))
+    assert ours[2] >= deng[2] - 2.0
+    first_deng = result["first_t_deng"]
+    assert first_deng == -1 or first_deng >= 8

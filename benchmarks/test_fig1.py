@@ -1,0 +1,59 @@
+"""Fig. 1: activation functions, distributions, K(mu) and h(T, mu).
+
+Paper claims regenerated here:
+- the pre-activation distributions are sharply skewed (most mass near
+  zero; >90% below d_max/3);
+- for the *uniform* density h(T, mu) = 1/2 for every T (so Eq. 7
+  vanishes, [15]'s result);
+- for the *empirical* density h is below 1/2 and decreases as T drops
+  toward 1 — the error source the paper identifies;
+- Algorithm 1 responds with alpha < 1 (threshold into the mass) and
+  beta > 1 (amplified steps).
+"""
+
+import pytest
+
+from repro.experiments import render_fig1, run_fig1, save_results
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1(once):
+    result = once(run_fig1, scale_name="bench", dataset="cifar10", timesteps=2)
+    print()
+    print(render_fig1(result))
+    save_results(
+        "fig1",
+        {
+            "mu": result["mu"],
+            "d_max": result["d_max"],
+            "alpha": result["alpha"],
+            "beta": result["beta"],
+            "k_mu": result["k_mu"],
+            "h_t_mu": result["h_t_mu"],
+            "h_t_mu_uniform": result["h_t_mu_uniform"],
+            "skew_mass_below_dmax_third": result["dnn_mass_below_third_of_dmax"],
+        },
+    )
+
+    # Skewed distribution: the d_max outlier claim.
+    assert result["dnn_mass_below_third_of_dmax"] > 0.8
+    # Uniform h stays at 1/2 for all T (the [15] assumption).
+    for value in result["h_t_mu_uniform"].values():
+        assert value == pytest.approx(0.5, abs=0.01)
+    # Empirical h sits below the uniform value ...
+    assert all(h < 0.49 for h in result["h_t_mu"].values())
+    # ... and decreases toward small T (the Fig. 1a insert).
+    assert result["h_t_mu"][1] <= result["h_t_mu"][5]
+    # Algorithm 1's response: pull the threshold in, push the step up.
+    assert result["alpha"] < 1.0
+    assert result["beta"] > 1.0
+    # The scaled staircase must hug the DNN curve more tightly than the
+    # unscaled one over the high-density region [0, mu].
+    import numpy as np
+
+    grid = result["grid"]
+    mask = grid <= result["mu"]
+    dnn = result["curves"]["dnn_threshold_relu"]
+    plain_err = np.abs(result["curves"]["snn_staircase"] - dnn)[mask].mean()
+    scaled_err = np.abs(result["curves"]["snn_staircase_scaled"] - dnn)[mask].mean()
+    assert scaled_err < plain_err

@@ -1,0 +1,51 @@
+"""Fig. 2: conversion-only accuracy vs number of time steps.
+
+Paper shape: both prior threshold rules collapse for T <= 5, with the
+max-pre-activation rule of [15] strictly worse than threshold-ReLU;
+accuracy recovers as T grows.  The proposed alpha/beta scaling is swept
+for context and must dominate at the ultra-low end (T in {2, 3}).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import export_csv, render_fig2, run_fig2, save_results
+
+SWEEP = (1, 2, 3, 4, 5, 8, 16, 32)
+
+
+@pytest.mark.benchmark(group="fig2")
+@pytest.mark.parametrize("arch", ["vgg16", "resnet20"])
+def test_fig2(once, arch):
+    result = once(
+        run_fig2,
+        arch=arch,
+        dataset="cifar10",
+        timesteps=SWEEP,
+        strategies=("threshold_relu", "max_activation", "proposed"),
+    )
+    print()
+    print(render_fig2(result))
+    save_results(f"fig2_{arch}", result)
+    export_csv(
+        f"fig2_{arch}",
+        {"timesteps": result["timesteps"], **result["series"]},
+    )
+
+    series = result["series"]
+    chance = 10.0
+    # Ultra-low-T collapse of the prior rules (T = 1..3 near chance).
+    for strategy in ("threshold_relu", "max_activation"):
+        low_t = series[strategy][:3]
+        assert max(low_t) < chance + 15.0
+    # Conversion recovers with T for the threshold-ReLU rule.
+    assert series["threshold_relu"][-1] > series["threshold_relu"][0]
+    # Max-pre-activation never beats threshold-ReLU by much at large T
+    # (d_max is an outlier threshold — the paper's Fig. 2 ordering).
+    assert np.mean(series["max_activation"]) <= np.mean(series["threshold_relu"]) + 5.0
+    # The proposed scaling dominates both priors at T in {2, 3}.
+    for index in (1, 2):
+        prior_best = max(
+            series["threshold_relu"][index], series["max_activation"][index]
+        )
+        assert series["proposed"][index] >= prior_best - 1e-9

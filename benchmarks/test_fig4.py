@@ -1,0 +1,49 @@
+"""Fig. 4: spiking activity, FLOPs and compute energy (VGG-16).
+
+Paper (full scale): the 2-step SNN reduces spike count 1.53x vs the
+5-step hybrid and 4.22x vs the 16-step conversion; compute energy drops
+103.5x (CIFAR-10) / 159.2x (CIFAR-100) vs the iso-architecture DNN.
+
+Shape asserted here: SNN energy well below the DNN's; total spikes,
+FLOPs and energy increase with T across the four SNN competitors; the
+16-step conversion is the most expensive SNN.
+"""
+
+import pytest
+
+from repro.experiments import render_fig4, run_fig4, save_results
+from repro.energy import neuromorphic_energy
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("dataset", ["cifar10", "cifar100"])
+def test_fig4(once, dataset):
+    result = once(run_fig4, dataset=dataset)
+    print()
+    print(render_fig4(result))
+    save_results(f"fig4_{dataset}", result)
+
+    by_label = {p["label"]: p for p in result["profiles"]}
+    ours2 = by_label["proposed T=2"]
+    ours3 = by_label["proposed T=3"]
+    hybrid5 = by_label["hybrid T=5 [7]"]
+    deng16 = by_label["conversion T=16 [15]"]
+
+    # Energy improvement over the DNN (paper: two orders of magnitude at
+    # full width; at reduced width the MAC/AC gap is smaller but the SNN
+    # must still win clearly).
+    assert ours2["energy_improvement_vs_dnn"] > 3.0
+    # Energy ordering across latencies: T=2 < T=3 < T=16 conversion.
+    assert ours2["energy_joules"] < ours3["energy_joules"]
+    assert ours3["energy_joules"] < deng16["energy_joules"]
+    # Ours at T=2 beats both baselines on energy (paper: 1.27x vs [7],
+    # 5.18x vs [15]).
+    assert ours2["energy_joules"] < hybrid5["energy_joules"]
+    assert ours2["energy_joules"] < deng16["energy_joules"]
+    # The 16-step conversion emits the most spikes per neuron.
+    assert deng16["average_spike_rate"] > ours2["average_spike_rate"]
+    # SNN FLOPs below the dense DNN FLOPs for the low-T models.
+    assert ours2["total_flops"] < result["dnn_total_flops"]
+    # Neuromorphic estimates are compute-bound (Section VI-B).
+    tn = neuromorphic_energy(ours2["total_flops"], 2, "truenorth")
+    assert tn == pytest.approx(ours2["total_flops"] * 0.4, rel=1e-3)

@@ -1,0 +1,61 @@
+"""Extension bench: input-noise robustness of DNN vs low-latency SNN.
+
+Not a paper table — an extension exercising the HIRE-SNN-adjacent claim
+the paper's related work cites: the spiking discretisation degrades
+more gracefully under input noise than the analog DNN.
+"""
+
+import pytest
+
+from repro.experiments import (
+    render_noise_robustness,
+    run_noise_robustness,
+    save_results,
+)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_adversarial_robustness(once):
+    from repro.experiments import (
+        render_adversarial_robustness,
+        run_adversarial_robustness,
+    )
+
+    result = once(
+        run_adversarial_robustness,
+        arch="vgg11",
+        dataset="cifar10",
+        timesteps=2,
+        epsilons=(0.0, 0.1, 0.3),
+    )
+    print()
+    print(render_adversarial_robustness(result))
+    save_results("adversarial_robustness", result)
+    # FGSM must hurt the DNN; the SNN curve must be finite and bounded.
+    assert result["dnn_accuracy"][-1] <= result["dnn_accuracy"][0]
+    for value in result["snn_accuracy"]:
+        assert 0.0 <= value <= 100.0
+
+
+@pytest.mark.benchmark(group="extension")
+def test_noise_robustness(once):
+    result = once(
+        run_noise_robustness,
+        arch="vgg11",
+        dataset="cifar10",
+        timesteps=2,
+        noise_levels=(0.0, 0.1, 0.2, 0.4),
+    )
+    print()
+    print(render_noise_robustness(result))
+    save_results("robustness", result)
+
+    # Both models should lose accuracy monotonically-ish with noise;
+    # assert the endpoints rather than strict monotonicity (noise).
+    assert result["dnn_accuracy"][0] >= result["dnn_accuracy"][-1]
+    assert result["snn_accuracy"][0] >= result["snn_accuracy"][-1]
+    # Relative degradation of the SNN must not be catastrophically worse
+    # than the DNN's (HIRE-SNN-style graceful degradation).
+    dnn_drop = result["dnn_accuracy"][0] - result["dnn_accuracy"][-1]
+    snn_drop = result["snn_accuracy"][0] - result["snn_accuracy"][-1]
+    assert snn_drop <= dnn_drop + 25.0

@@ -1,0 +1,29 @@
+"""Table I: DNN / conversion / SNN-training accuracy per (arch, dataset, T).
+
+Paper (full scale): see ``repro.experiments.table1.PAPER_TABLE1``.
+Expected shape at bench scale: (b) << (a); (c) recovers most of the gap;
+T=3 conversion >= T=2 conversion.
+"""
+
+import pytest
+
+from repro.experiments import (
+    render_table1,
+    run_table1,
+    save_results,
+)
+from repro.experiments.table1 import TABLE1_GRID
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("arch,dataset", TABLE1_GRID)
+def test_table1_rows(once, arch, dataset):
+    rows = once(run_table1, grid=[(arch, dataset)], timesteps=(2, 3))
+    print()
+    print(render_table1(rows))
+    save_results(f"table1_{arch}_{dataset}", {"rows": rows})
+    for row in rows:
+        # Conversion initialises SGL; SGL must not end below it by much.
+        assert row["snn_accuracy"] >= row["conversion_accuracy"] - 5.0
+        # The DNN is the ceiling at bench scale.
+        assert row["dnn_accuracy"] >= row["snn_accuracy"] - 10.0

@@ -1,0 +1,37 @@
+"""Table II: comparison with SOTA deep-SNN training methods (VGG-16).
+
+Paper: the 2-step hybrid model is within ~1-2% of baselines that need
+5-16 steps.  Expected shape here: ours at T=2 is competitive with the
+higher-T baselines (the latency win), and every hybrid method beats the
+raw surrogate-from-scratch baseline.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    render_table2,
+    run_table2,
+    save_results,
+)
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("dataset", ["cifar10", "cifar100"])
+def test_table2(once, dataset):
+    rows = once(run_table2, dataset=dataset)
+    print()
+    print(render_table2(rows))
+    print("\npaper reference rows:")
+    for name, training, accuracy, steps in PAPER_TABLE2[dataset]:
+        print(f"  {name:24s} {training:24s} {accuracy:6.2f}%  T={steps}")
+    save_results(f"table2_{dataset}", {"rows": rows})
+
+    ours = next(r for r in rows if r["method"].startswith("this work"))
+    chance = 10.0 if dataset == "cifar10" else 1.0
+    assert ours["accuracy"] > 2.0 * chance
+    assert ours["timesteps"] == 2
+    # Latency win: every comparator uses strictly more time steps.
+    assert all(
+        r["timesteps"] > ours["timesteps"] for r in rows if r is not ours
+    )

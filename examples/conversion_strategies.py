@@ -1,0 +1,74 @@
+"""Compare conversion strategies across latencies (a mini Fig. 2).
+
+Converts one trained network with every strategy in the library —
+the paper's alpha/beta scaling, plain threshold-ReLU, max-activation
+balancing, Deng-style optimal shift, and the grid-scaling heuristic —
+and prints conversion-only accuracy across a sweep of T.
+
+    python examples/conversion_strategies.py
+"""
+
+import numpy as np
+
+from repro.conversion import STRATEGIES, ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader, Normalize, synth_cifar10
+from repro.experiments import format_table
+from repro.models import vgg11
+from repro.train import DNNTrainConfig, DNNTrainer, evaluate_dnn, evaluate_snn
+from repro.train.lsuv import lsuv_init
+
+TIMESTEPS = (1, 2, 3, 5, 8, 16)
+
+
+def main() -> None:
+    dataset = synth_cifar10(image_size=16, train_size=400, test_size=120, seed=0)
+    mean, std = dataset.channel_stats()
+    normalize = Normalize(mean, std)
+    train_loader = DataLoader(
+        dataset.train_images, dataset.train_labels,
+        batch_size=50, shuffle=True, transform=normalize, seed=1,
+    )
+    test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=60, transform=normalize
+    )
+
+    model = vgg11(
+        num_classes=10, image_size=16, width_multiplier=0.25,
+        dropout=0.05, rng=np.random.default_rng(3),
+    )
+    lsuv_init(model, normalize(dataset.train_images[:100], np.random.default_rng(0)))
+    print("training the source DNN ...")
+    DNNTrainer(DNNTrainConfig(epochs=12, lr=0.02)).fit(model, train_loader, test_loader)
+    dnn_accuracy = evaluate_dnn(model, test_loader)
+    print(f"DNN accuracy: {dnn_accuracy * 100:.2f}%\n")
+
+    strategies = sorted(STRATEGIES)
+    rows = []
+    for timesteps in TIMESTEPS:
+        row = [timesteps]
+        for strategy in strategies:
+            calibration = DataLoader(
+                dataset.train_images, dataset.train_labels,
+                batch_size=50, transform=normalize,
+            )
+            conversion = convert_dnn_to_snn(
+                model, calibration,
+                ConversionConfig(timesteps=timesteps, strategy=strategy),
+            )
+            row.append(evaluate_snn(conversion.snn, test_loader) * 100.0)
+        rows.append(row)
+
+    print(format_table(
+        ["T"] + strategies + ["DNN ref"],
+        [r + [dnn_accuracy * 100.0] for r in rows],
+        title="conversion-only accuracy (%) by strategy and latency",
+    ))
+    print(
+        "\nExpected shape (paper Fig. 2): prior rules collapse at T <= 5;\n"
+        "the proposed alpha/beta scaling degrades gracefully and dominates\n"
+        "at T in {2, 3}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Compare input encodings: direct vs Poisson rate vs time-to-first-spike.
+
+The paper adopts *direct* encoding (analog pixels into the first conv
+at every step) because it reaches usable accuracy at an order of
+magnitude fewer time steps than rate coding.  This example converts one
+trained network and evaluates it under each encoder across latencies —
+direct encoding should dominate at low T, with rate coding slowly
+catching up as T grows.
+
+    python examples/encoding_comparison.py
+"""
+
+import numpy as np
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader, Normalize, synth_cifar10
+from repro.experiments import format_table
+from repro.models import vgg11
+from repro.snn import DirectEncoder, PoissonEncoder, TTFSEncoder
+from repro.train import DNNTrainConfig, DNNTrainer, evaluate_dnn, evaluate_snn
+from repro.train.lsuv import lsuv_init
+
+
+def main() -> None:
+    dataset = synth_cifar10(image_size=16, train_size=400, test_size=120, seed=0)
+    mean, std = dataset.channel_stats()
+    normalize = Normalize(mean, std)
+    train_loader = DataLoader(
+        dataset.train_images, dataset.train_labels,
+        batch_size=50, shuffle=True, transform=normalize, seed=1,
+    )
+    test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=60, transform=normalize
+    )
+    # Rate/TTFS encoders need inputs in [0, 1]: evaluate them on the raw
+    # (un-normalised) images.
+    raw_test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=60
+    )
+
+    model = vgg11(
+        num_classes=10, image_size=16, width_multiplier=0.25,
+        dropout=0.05, rng=np.random.default_rng(5),
+    )
+    lsuv_init(model, normalize(dataset.train_images[:100], np.random.default_rng(0)))
+    print("training the source DNN ...")
+    DNNTrainer(DNNTrainConfig(epochs=12, lr=0.02)).fit(model, train_loader, test_loader)
+    print(f"DNN accuracy: {evaluate_dnn(model, test_loader) * 100:.2f}%\n")
+
+    encoders = {
+        "direct": (DirectEncoder(), test_loader),
+        "poisson": (PoissonEncoder(rng=np.random.default_rng(0)), raw_test_loader),
+        "ttfs": (TTFSEncoder(), raw_test_loader),
+    }
+    rows = []
+    for timesteps in (2, 4, 8, 16):
+        row = [timesteps]
+        for name, (encoder, loader) in encoders.items():
+            conversion = convert_dnn_to_snn(
+                model,
+                DataLoader(dataset.train_images, dataset.train_labels,
+                           batch_size=50, transform=normalize),
+                ConversionConfig(timesteps=timesteps),
+                encoder=encoder,
+            )
+            row.append(evaluate_snn(conversion.snn, loader) * 100.0)
+        rows.append(row)
+
+    print(format_table(
+        ["T", "direct", "poisson", "ttfs"],
+        rows,
+        title="conversion accuracy (%) by input encoding",
+    ))
+    print(
+        "\nDirect encoding dominates at low T — the reason the paper (and\n"
+        "the DIET-SNN line of work) feeds analog pixels to the first layer."
+    )
+
+
+if __name__ == "__main__":
+    main()

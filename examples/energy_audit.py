@@ -1,0 +1,83 @@
+"""Energy audit: spikes, FLOPs and compute energy of a converted SNN.
+
+Reproduces the Section-VI accounting on a small VGG: measures per-layer
+spiking activity, derives the spike-scaled FLOP counts, and prices them
+with the 45 nm CMOS model (E_MAC = 3.2 pJ, E_AC = 0.1 pJ) plus the
+normalised TrueNorth / SpiNNaker estimates.
+
+    python examples/energy_audit.py
+"""
+
+import numpy as np
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader, Normalize, synth_cifar10
+from repro.energy import (
+    EnergyModel,
+    measure_spiking_activity,
+    neuromorphic_energy,
+    snn_layer_flops,
+    snn_total_flops,
+    trace_weight_layers,
+)
+from repro.models import vgg11
+from repro.train import DNNTrainConfig, DNNTrainer
+from repro.train.lsuv import lsuv_init
+
+
+def main() -> None:
+    dataset = synth_cifar10(image_size=16, train_size=300, test_size=100, seed=0)
+    mean, std = dataset.channel_stats()
+    normalize = Normalize(mean, std)
+    loader = DataLoader(
+        dataset.train_images, dataset.train_labels,
+        batch_size=50, shuffle=True, transform=normalize, seed=1,
+    )
+    test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=50, transform=normalize
+    )
+
+    model = vgg11(
+        num_classes=10, image_size=16, width_multiplier=0.25,
+        dropout=0.05, rng=np.random.default_rng(7),
+    )
+    lsuv_init(model, normalize(dataset.train_images[:100], np.random.default_rng(0)))
+    print("training a small source DNN ...")
+    DNNTrainer(DNNTrainConfig(epochs=8, lr=0.02)).fit(model, loader)
+
+    energy_model = EnergyModel()
+    input_shape = dataset.input_shape
+    dnn_records = trace_weight_layers(model, input_shape)
+    dnn_flops = sum(r.macs for r in dnn_records)
+    dnn_energy = energy_model.dnn_energy(dnn_records)
+    print(f"\nDNN: {dnn_flops:.3e} MACs -> {dnn_energy * 1e6:.3f} uJ / image")
+
+    for timesteps in (2, 3, 5):
+        conversion = convert_dnn_to_snn(
+            model,
+            DataLoader(dataset.train_images, dataset.train_labels,
+                       batch_size=50, transform=normalize),
+            ConversionConfig(timesteps=timesteps),
+        )
+        activity = measure_spiking_activity(
+            conversion.snn, test_loader, max_batches=2
+        )
+        records = snn_layer_flops(
+            conversion.snn, input_shape,
+            activity.rates_by_neuron_id(conversion.snn),
+        )
+        total = snn_total_flops(records)
+        energy = energy_model.snn_energy(records)
+        print(f"\nSNN @ T={timesteps}")
+        print(f"  avg spikes/neuron/inference: {activity.average_spikes_per_neuron:.3f}")
+        print("  per-layer spike rates: "
+              + " ".join(f"{l.spikes_per_neuron:.2f}" for l in activity.layers))
+        print(f"  total ops: {total:.3e} (first layer = MACs x T, rest = ACs)")
+        print(f"  compute energy: {energy * 1e6:.4f} uJ / image "
+              f"({dnn_energy / energy:.1f}x below the DNN)")
+        print(f"  TrueNorth (norm.): {neuromorphic_energy(total, timesteps, 'truenorth'):.3e}")
+        print(f"  SpiNNaker (norm.): {neuromorphic_energy(total, timesteps, 'spinnaker'):.3e}")
+
+
+if __name__ == "__main__":
+    main()

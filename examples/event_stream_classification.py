@@ -1,0 +1,67 @@
+"""Train a spiking CNN *directly* on event-camera data (no conversion).
+
+The paper's pipeline converts image-trained DNNs, but SNNs' native
+domain is asynchronous event streams.  This example builds a small
+spiking CNN from the substrate primitives, feeds it synthetic DVS-style
+motion events through the :class:`PassthroughEncoder` (the data already
+*is* spikes), and trains it from scratch with surrogate-gradient
+learning — the fully-spiking workflow.
+
+    python examples/event_stream_classification.py
+"""
+
+import numpy as np
+
+from repro.data import DataLoader, synth_dvs
+from repro.nn import Conv2d, Flatten, Linear
+from repro.snn import (
+    IFNeuron,
+    PassthroughEncoder,
+    SpikingNetwork,
+    SpikingSequential,
+    StepWrapper,
+)
+from repro.train import SNNTrainConfig, SNNTrainer, evaluate_snn
+
+TIMESTEPS = 8
+
+
+def build_spiking_cnn(num_classes: int, rng: np.random.Generator) -> SpikingNetwork:
+    """A 2-conv spiking CNN consuming 2-channel (ON/OFF) event frames."""
+    body = SpikingSequential(
+        StepWrapper(Conv2d(2, 8, 3, padding=1, bias=False, rng=rng)),
+        IFNeuron(v_threshold=1.0, surrogate="boxcar"),
+        StepWrapper(Conv2d(8, 16, 3, stride=2, padding=1, bias=False, rng=rng)),
+        IFNeuron(v_threshold=1.0, surrogate="boxcar"),
+        StepWrapper(Flatten()),
+        StepWrapper(Linear(16 * 8 * 8, num_classes, bias=False, rng=rng)),
+    )
+    return SpikingNetwork(body, timesteps=TIMESTEPS, encoder=PassthroughEncoder())
+
+
+def main() -> None:
+    dataset = synth_dvs(
+        num_classes=4, timesteps=TIMESTEPS, image_size=16,
+        train_size=240, test_size=80, seed=0,
+    )
+    train_loader = DataLoader(
+        dataset.train_events, dataset.train_labels,
+        batch_size=40, shuffle=True, seed=1,
+    )
+    test_loader = DataLoader(dataset.test_events, dataset.test_labels, batch_size=40)
+
+    snn = build_spiking_cnn(dataset.num_classes, np.random.default_rng(3))
+    print(f"chance accuracy: {100.0 / dataset.num_classes:.1f}%")
+    print(f"before training: {evaluate_snn(snn, test_loader) * 100:.1f}%")
+
+    trainer = SNNTrainer(
+        SNNTrainConfig(epochs=8, lr=2e-3, train_leaks=True)
+    )
+    trainer.fit(snn, train_loader, test_loader, verbose=True)
+    accuracy = evaluate_snn(snn, test_loader)
+    print(f"\nevent-stream test accuracy: {accuracy * 100:.1f}% "
+          f"(T = {TIMESTEPS}, fully spiking input)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Estimate a neuromorphic deployment of a converted SNN.
+
+Extends the paper's Section-VI energy analysis to the deployment
+itself: map the converted network onto a TrueNorth-style grid of
+256-neuron/256-axon cores, report cores, synapses, mesh traffic and a
+deployment-aware energy estimate, then sweep weight precision to see
+how few bits the 2-step model really needs.
+
+    python examples/neuromorphic_deployment.py
+"""
+
+import numpy as np
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader, Normalize, synth_cifar10
+from repro.experiments import format_table
+from repro.hw import CoreSpec, map_network, precision_sweep
+from repro.models import vgg11
+from repro.train import DNNTrainConfig, DNNTrainer, evaluate_snn
+from repro.train.lsuv import lsuv_init
+
+
+def main() -> None:
+    dataset = synth_cifar10(image_size=16, train_size=400, test_size=120, seed=0)
+    mean, std = dataset.channel_stats()
+    normalize = Normalize(mean, std)
+    train_loader = DataLoader(
+        dataset.train_images, dataset.train_labels,
+        batch_size=50, shuffle=True, transform=normalize, seed=1,
+    )
+    test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=60, transform=normalize
+    )
+
+    model = vgg11(
+        num_classes=10, image_size=16, width_multiplier=0.25,
+        dropout=0.0, rng=np.random.default_rng(7),
+    )
+    lsuv_init(model, normalize(dataset.train_images[:100], np.random.default_rng(0)))
+    print("training the source DNN ...")
+    DNNTrainer(DNNTrainConfig(epochs=12, lr=0.015)).fit(model, train_loader)
+
+    def fresh_snn(timesteps=2):
+        calibration = DataLoader(
+            dataset.train_images, dataset.train_labels,
+            batch_size=50, transform=normalize,
+        )
+        return convert_dnn_to_snn(
+            model, calibration, ConversionConfig(timesteps=timesteps)
+        ).snn
+
+    snn = fresh_snn()
+    print(f"SNN accuracy @T=2: {evaluate_snn(snn, test_loader) * 100:.1f}%\n")
+
+    sample_images, _ = next(iter(test_loader))
+    deployment = map_network(snn, sample_images, CoreSpec())
+
+    rows = [
+        [l.name, l.neurons, l.fan_in, l.cores, f"{l.synaptic_events:.3g}",
+         f"{l.mesh_messages:.3g}"]
+        for l in deployment.layers
+    ]
+    print(format_table(
+        ["layer", "neurons", "fan-in", "cores", "syn events/inf", "mesh msgs/inf"],
+        rows,
+        title="TrueNorth-style deployment (256 neurons / 256 axons per core)",
+    ))
+    print(f"\ntotal cores:    {deployment.total_cores}")
+    print(f"total synapses: {deployment.total_synapses:.3e}")
+    print(f"deployment energy (normalised): {deployment.energy():.4g}")
+
+    print("\nweight-precision sweep (accuracy after symmetric quantization):")
+    results = precision_sweep(
+        fresh_snn,
+        lambda network: evaluate_snn(network, test_loader),
+        bit_widths=(2, 3, 4, 6, 8),
+    )
+    print(format_table(
+        ["bits", "accuracy %"],
+        [[bits, accuracy * 100.0] for bits, accuracy in results],
+    ))
+
+
+if __name__ == "__main__":
+    main()

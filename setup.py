@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment has no `wheel` package, so PEP-660 editable
+installs are unavailable; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,154 @@
+"""Collection of per-layer pre-activation statistics from a trained DNN.
+
+Algorithm 1 and the analytical error model both consume the empirical
+distribution of each activation layer's inputs.  This module attaches
+:class:`~repro.nn.activations.ActivationRecorder` instances to every
+activation layer, drives calibration batches through the network, and
+summarises each layer into a :class:`LayerActivationStats` (percentiles,
+trained threshold ``mu``, observed maximum ``d_max``).
+
+For plain-ReLU networks (the max-pre-activation conversion baseline of
+Fig. 2) there is no trained ``mu``; ``mu`` is reported as ``d_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import ActivationRecorder, Module, ReLU, ThresholdReLU
+from ..tensor import Tensor, no_grad
+
+
+@dataclass
+class LayerActivationStats:
+    """Summary of one activation layer's pre-activation distribution.
+
+    Attributes
+    ----------
+    percentiles:
+        101 values: the 0th..100th percentile of the recorded samples.
+    mu:
+        The layer's trained clipping threshold (``d_max`` for ReLU).
+    d_max:
+        Maximum observed pre-activation (the outlier the paper warns
+        about: >99% of mass typically lies below ``d_max / 3``).
+    mean, count:
+        Sample mean and number of recorded values.
+    """
+
+    percentiles: np.ndarray
+    mu: float
+    d_max: float
+    mean: float
+    count: int
+
+    def percentile(self, q: float) -> float:
+        """Interpolated percentile ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        grid = np.arange(101.0)
+        return float(np.interp(q, grid, self.percentiles))
+
+    @property
+    def positive_fraction_below(self) -> float:
+        """Fraction of the [0, d_max] range below mu — a skew indicator."""
+        if self.d_max <= 0:
+            return 1.0
+        return min(1.0, self.mu / self.d_max)
+
+
+def activation_layers(model: Module) -> List[Module]:
+    """All activation layers of ``model`` in forward (definition) order."""
+    return [m for m in model.modules() if isinstance(m, (ThresholdReLU, ReLU))]
+
+
+class _ReLURecorderShim(Module):
+    """Internal: lets a plain ReLU record pre-activations like a
+    ThresholdReLU does (used only during calibration)."""
+
+
+def collect_activation_stats(
+    model: Module,
+    batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+    max_batches: Optional[int] = None,
+    max_samples_per_layer: int = 200_000,
+) -> List[LayerActivationStats]:
+    """Run calibration batches and summarise every activation layer.
+
+    Parameters
+    ----------
+    model:
+        A trained DNN built from this library's layers.
+    batches:
+        Iterable of ``(images, labels)`` numpy batches (labels unused).
+    max_batches:
+        Stop after this many batches (None = exhaust the iterable).
+    max_samples_per_layer:
+        Reservoir bound per layer to cap memory.
+
+    Returns statistics in the same order as :func:`activation_layers`.
+    """
+    layers = activation_layers(model)
+    if not layers:
+        raise ValueError("model has no activation layers to calibrate")
+
+    recorders: List[ActivationRecorder] = []
+    relu_wrappers = []
+    for layer in layers:
+        recorder = ActivationRecorder(max_samples=max_samples_per_layer)
+        recorders.append(recorder)
+        if isinstance(layer, ThresholdReLU):
+            layer.recorder = recorder
+        else:
+            # Monkey-patch a recording forward onto the plain ReLU for
+            # the duration of calibration.
+            original_forward = layer.forward
+
+            def recording_forward(x: Tensor, _rec=recorder, _orig=original_forward):
+                _rec.record(x.data)
+                return _orig(x)
+
+            object.__setattr__(layer, "forward", recording_forward)
+            relu_wrappers.append((layer, original_forward))
+
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            for index, (images, _labels) in enumerate(batches):
+                if max_batches is not None and index >= max_batches:
+                    break
+                model(Tensor(np.asarray(images)))
+    finally:
+        model.train(was_training)
+        for layer in layers:
+            if isinstance(layer, ThresholdReLU):
+                layer.recorder = None
+        for layer, original in relu_wrappers:
+            object.__setattr__(layer, "forward", original)
+
+    stats: List[LayerActivationStats] = []
+    for layer, recorder in zip(layers, recorders):
+        values = recorder.values()
+        if values.size == 0:
+            raise RuntimeError("calibration produced no activation samples")
+        percentiles = np.percentile(values, np.arange(101.0))
+        d_max = float(values.max())
+        if isinstance(layer, ThresholdReLU):
+            mu = layer.threshold
+        else:
+            mu = d_max
+        stats.append(
+            LayerActivationStats(
+                percentiles=percentiles,
+                mu=mu,
+                d_max=d_max,
+                mean=float(values.mean()),
+                count=values.size,
+            )
+        )
+        recorder.clear()
+    return stats

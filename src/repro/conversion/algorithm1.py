@@ -1,0 +1,241 @@
+"""Algorithm 1 of the paper: layer-wise scaling factors for the SNN
+threshold (``alpha``) and post-activation amplitude (``beta``).
+
+Given the empirical percentiles ``P`` of a layer's DNN pre-activations
+and the trained threshold ``mu``, the algorithm evaluates the *signed*
+sum of DNN-vs-SNN output differences over the percentile grid for a
+candidate ``(alpha, beta)`` (``ComputeLoss``), and searches
+``alpha in {P[j]/mu : P[j] <= mu}`` x ``beta in [0, 2] step 0.01``
+for the pair with the smallest absolute loss (``FindScalingFactors``).
+
+Using percentiles rather than a linear grid concentrates candidates
+where the (sharply skewed) distribution actually has mass — the paper's
+stated reason the approach beats linear threshold search.
+
+The three loss segments match Fig. 1(b):
+
+- Seg-I  (``0 <= p <= alpha mu``): the DNN output ``p`` sits on
+  staircase step ``j`` whose SNN output is ``j alpha beta mu / T``;
+- Seg-II (``alpha mu < p <= mu``): the SNN is saturated at
+  ``alpha beta mu`` while the DNN still grows linearly;
+- Seg-III (``p > mu``): both are saturated, at ``mu`` and
+  ``alpha beta mu`` respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ScalingFactors:
+    """Result of the per-layer search.
+
+    ``alpha`` scales the threshold (``V^th = alpha * mu``), ``beta`` the
+    spike amplitude (output ``beta * V^th`` per spike); ``loss`` is the
+    signed ComputeLoss value at the optimum; ``evaluations`` counts the
+    candidate pairs examined.
+    """
+
+    alpha: float
+    beta: float
+    loss: float
+    evaluations: int = 0
+
+
+def compute_loss(
+    percentiles: np.ndarray,
+    mu: float,
+    alpha: float,
+    beta: float,
+    timesteps: int,
+) -> float:
+    """``ComputeLoss`` of Algorithm 1: signed sum of per-percentile
+    DNN-minus-SNN output differences under ``(alpha, beta)``.
+
+    Vectorised equivalent of the paper's triple loop: for each
+    percentile ``p`` the SNN output is the unshifted staircase with
+    threshold ``alpha mu`` and amplitude scale ``beta``; the DNN output
+    is ``clip(p, 0, mu)``.
+    """
+    if mu <= 0:
+        raise ValueError("mu must be positive")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if beta < 0.0:
+        raise ValueError("beta must be non-negative")
+    if timesteps <= 0:
+        raise ValueError("timesteps must be positive")
+
+    p = np.asarray(percentiles, dtype=np.float64)
+    p = p[p > 0.0]  # negative pre-activations contribute 0 to both outputs
+    if p.size == 0:
+        return 0.0
+    alpha_mu = alpha * mu
+    step = alpha_mu / timesteps
+
+    # Seg-I: 0 < p <= alpha mu  ->  SNN on staircase level
+    # j = floor(p/step), evaluated just below exact edges to match the
+    # strict firing condition of Eq. 3 (see theory.snn_staircase).
+    seg1 = p <= alpha_mu
+    levels = np.maximum(np.floor(p[seg1] / step - 1e-12), 0.0)
+    levels = np.minimum(levels, timesteps)
+    loss = float((p[seg1] - levels * beta * step).sum())
+
+    # Seg-II: alpha mu < p <= mu  ->  SNN saturated at alpha beta mu
+    seg2 = (p > alpha_mu) & (p <= mu)
+    loss += float((p[seg2] - alpha_mu * beta).sum())
+
+    # Seg-III: p > mu  ->  DNN saturated at mu, SNN at alpha beta mu
+    seg3 = p > mu
+    loss += float(seg3.sum() * mu * (1.0 - alpha * beta))
+    return loss
+
+
+def find_scaling_factors(
+    percentiles: np.ndarray,
+    mu: float,
+    timesteps: int,
+    beta_max: float = 2.0,
+    beta_step: float = 0.01,
+    alpha_candidates: Optional[Sequence[float]] = None,
+) -> ScalingFactors:
+    """``FindScalingFactors`` of Algorithm 1.
+
+    Parameters
+    ----------
+    percentiles:
+        The layer's pre-activation percentile grid ``P`` (typically 101
+        values from :mod:`repro.conversion.activation_stats`).
+    mu:
+        The layer's trained clipping threshold.
+    timesteps:
+        Target SNN latency ``T``.
+    beta_max, beta_step:
+        The ``beta`` grid ``[0, beta_max]`` with the paper's 0.01 step.
+    alpha_candidates:
+        Override the ``alpha`` grid (defaults to ``P[j]/mu`` for every
+        positive percentile not exceeding ``mu`` — the paper's choice).
+
+    Returns the pair minimising ``|ComputeLoss|``, initialised at the
+    identity ``(alpha, beta) = (1, 1)`` exactly as in the pseudocode, so
+    the search can only improve on the unscaled conversion.
+    """
+    p = np.asarray(percentiles, dtype=np.float64)
+    if alpha_candidates is None:
+        valid = p[(p > 0.0) & (p <= mu)]
+        alpha_candidates = np.unique(valid / mu)
+        # Guard against subnormal percentiles underflowing to alpha = 0.
+        alpha_candidates = alpha_candidates[alpha_candidates > 0.0]
+    else:
+        alpha_candidates = np.asarray(list(alpha_candidates), dtype=np.float64)
+        if np.any((alpha_candidates <= 0) | (alpha_candidates > 1)):
+            raise ValueError("alpha candidates must lie in (0, 1]")
+
+    best_alpha, best_beta = 1.0, 1.0
+    best_loss = compute_loss(p, mu, best_alpha, best_beta, timesteps)
+    evaluations = 1
+    betas = np.arange(0.0, beta_max + 0.5 * beta_step, beta_step)
+    for alpha in alpha_candidates:
+        for beta in betas:
+            loss = compute_loss(p, mu, float(alpha), float(beta), timesteps)
+            evaluations += 1
+            if abs(loss) < abs(best_loss):
+                best_alpha, best_beta, best_loss = float(alpha), float(beta), loss
+    # A zero beta would silence the layer entirely; the pseudocode's grid
+    # includes it but a dead layer is never the minimiser in practice.
+    if best_beta == 0.0:
+        best_beta = beta_step
+    return ScalingFactors(
+        alpha=best_alpha, beta=best_beta, loss=best_loss, evaluations=evaluations
+    )
+
+
+def _loss_affine_coefficients(
+    percentiles: np.ndarray, mu: float, alpha: float, timesteps: int
+) -> Tuple[float, float]:
+    """Decompose ``compute_loss`` as ``A - beta * B`` for fixed ``alpha``.
+
+    Every segment of the loss is linear in ``beta``:
+
+    - Seg-I:   sum(p) - beta * sum(level_j * alpha mu / T)
+    - Seg-II:  sum(p) - beta * n2 * alpha mu
+    - Seg-III: n3 * mu - beta * n3 * alpha mu
+    """
+    p = np.asarray(percentiles, dtype=np.float64)
+    p = p[p > 0.0]
+    if p.size == 0:
+        return 0.0, 0.0
+    alpha_mu = alpha * mu
+    step = alpha_mu / timesteps
+
+    seg1 = p <= alpha_mu
+    levels = np.maximum(np.floor(p[seg1] / step - 1e-12), 0.0)
+    levels = np.minimum(levels, timesteps)
+    a = float(p[seg1].sum())
+    b = float((levels * step).sum())
+
+    seg2 = (p > alpha_mu) & (p <= mu)
+    a += float(p[seg2].sum())
+    b += float(seg2.sum() * alpha_mu)
+
+    seg3 = p > mu
+    a += float(seg3.sum() * mu)
+    b += float(seg3.sum() * alpha_mu)
+    return a, b
+
+
+def find_scaling_factors_fast(
+    percentiles: np.ndarray,
+    mu: float,
+    timesteps: int,
+    beta_max: float = 2.0,
+    beta_step: float = 0.01,
+    alpha_candidates: Optional[Sequence[float]] = None,
+) -> ScalingFactors:
+    """Closed-form accelerated FindScalingFactors.
+
+    ``ComputeLoss`` is affine in ``beta`` (``loss = A - beta B`` with
+    ``A, B >= 0``), so for each ``alpha`` candidate the zero-crossing
+    ``beta* = A / B`` is exact; snapping it onto the paper's 0.01 grid
+    (and clipping to ``[beta_step, beta_max]``) reproduces the grid
+    search's minimiser at ~1/200th of the evaluations.  An ablation
+    benchmark verifies the equivalence against the faithful search.
+    """
+    p = np.asarray(percentiles, dtype=np.float64)
+    if alpha_candidates is None:
+        valid = p[(p > 0.0) & (p <= mu)]
+        alpha_candidates = np.unique(valid / mu)
+        alpha_candidates = alpha_candidates[alpha_candidates > 0.0]
+    else:
+        alpha_candidates = np.asarray(list(alpha_candidates), dtype=np.float64)
+        if np.any((alpha_candidates <= 0) | (alpha_candidates > 1)):
+            raise ValueError("alpha candidates must lie in (0, 1]")
+
+    best_alpha, best_beta = 1.0, 1.0
+    best_loss = compute_loss(p, mu, best_alpha, best_beta, timesteps)
+    evaluations = 1
+    for alpha in alpha_candidates:
+        a, b = _loss_affine_coefficients(p, mu, float(alpha), timesteps)
+        if b <= 0.0:
+            continue
+        # Best beta on the grid is one of the two grid points bracketing
+        # the exact root (plus the grid ends).
+        root = a / b
+        candidates = {
+            beta_step,
+            beta_max,
+            min(beta_max, max(beta_step, np.floor(root / beta_step) * beta_step)),
+            min(beta_max, max(beta_step, np.ceil(root / beta_step) * beta_step)),
+        }
+        for beta in candidates:
+            loss = a - beta * b
+            evaluations += 1
+            if abs(loss) < abs(best_loss):
+                best_alpha, best_beta, best_loss = float(alpha), float(beta), loss
+    return ScalingFactors(
+        alpha=best_alpha, beta=best_beta, loss=best_loss, evaluations=evaluations
+    )

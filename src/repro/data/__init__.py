@@ -1,0 +1,39 @@
+"""Data substrate: synthetic CIFAR-like datasets, transforms, loader."""
+
+from .cifar import CIFARDataset, load_cifar10, load_cifar100
+from .dataloader import DataLoader
+from .events import SyntheticEventConfig, SyntheticEventDataset, synth_dvs
+from .synthetic import (
+    SyntheticImageConfig,
+    SyntheticImageDataset,
+    synth_cifar10,
+    synth_cifar100,
+)
+from .transforms import (
+    AdditiveGaussianNoise,
+    Compose,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Transform,
+)
+
+__all__ = [
+    "AdditiveGaussianNoise",
+    "CIFARDataset",
+    "Compose",
+    "DataLoader",
+    "Normalize",
+    "load_cifar10",
+    "load_cifar100",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "SyntheticEventConfig",
+    "SyntheticEventDataset",
+    "SyntheticImageConfig",
+    "SyntheticImageDataset",
+    "Transform",
+    "synth_cifar10",
+    "synth_dvs",
+    "synth_cifar100",
+]

@@ -1,0 +1,64 @@
+"""Minibatch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .transforms import Transform
+
+
+class DataLoader:
+    """Iterate ``(images, labels)`` minibatches with optional shuffling
+    and an optional per-batch transform pipeline.
+
+    Iterating twice re-shuffles (the generator state advances), matching
+    the usual epoch semantics.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        shuffle: bool = False,
+        transform: Optional[Transform] = None,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) "
+                "lengths differ"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = self.images.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = self.images.shape[0]
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            batch = self.images[idx]
+            if self.transform is not None:
+                batch = self.transform(batch, self._rng)
+            yield batch, self.labels[idx]

@@ -1,0 +1,100 @@
+"""Batch-level data transforms (augmentation and normalisation).
+
+Transforms operate on numpy batches of shape ``(N, C, H, W)`` and are
+pure functions of ``(batch, rng)`` so pipelines stay deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Transform:
+    """Base transform; subclasses implement ``apply``."""
+
+    def __call__(self, batch: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) batch, got shape {batch.shape}")
+        return self.apply(batch, rng or np.random.default_rng())
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch, rng)
+        return batch
+
+
+class Normalize(Transform):
+    """Per-channel standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std <= 0):
+            raise ValueError("std must be positive")
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean[None, :, None, None]) / self.std[None, :, None, None]
+
+
+class RandomHorizontalFlip(Transform):
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = p
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flips = rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class RandomCrop(Transform):
+    """Zero-pad by ``padding`` then crop back to the original size at a
+    random offset (the standard CIFAR augmentation)."""
+
+    def __init__(self, padding: int = 4) -> None:
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        n, c, h, w = batch.shape
+        p = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        rows = rng.integers(0, 2 * p + 1, size=n)
+        cols = rng.integers(0, 2 * p + 1, size=n)
+        out = np.empty_like(batch)
+        for i in range(n):
+            out[i] = padded[i, :, rows[i] : rows[i] + h, cols[i] : cols[i] + w]
+        return out
+
+
+class AdditiveGaussianNoise(Transform):
+    """Add zero-mean Gaussian pixel noise (used in robustness tests)."""
+
+    def __init__(self, std: float) -> None:
+        if std < 0:
+            raise ValueError("std must be non-negative")
+        self.std = std
+
+    def apply(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.std == 0:
+            return batch
+        return batch + rng.normal(0.0, self.std, size=batch.shape)

@@ -1,0 +1,33 @@
+"""Inference-efficiency accounting: spikes, FLOPs, energy (Section VI)."""
+
+from .flops import (
+    LayerFlops,
+    dnn_total_flops,
+    snn_layer_flops,
+    snn_total_flops,
+    trace_weight_layers,
+)
+from .model import (
+    E_AC_45NM,
+    E_MAC_45NM,
+    NEUROMORPHIC_PARAMS,
+    EnergyModel,
+    neuromorphic_energy,
+)
+from .spikes import LayerSpikeStats, SpikeActivityReport, measure_spiking_activity
+
+__all__ = [
+    "E_AC_45NM",
+    "E_MAC_45NM",
+    "EnergyModel",
+    "LayerFlops",
+    "LayerSpikeStats",
+    "NEUROMORPHIC_PARAMS",
+    "SpikeActivityReport",
+    "dnn_total_flops",
+    "measure_spiking_activity",
+    "neuromorphic_energy",
+    "snn_layer_flops",
+    "snn_total_flops",
+    "trace_weight_layers",
+]

@@ -1,0 +1,87 @@
+"""Compute-energy models (paper Section VI-B).
+
+CMOS model — 45 nm at 0.9 V (Horowitz, ISSCC 2014), 32-bit:
+
+    E_MAC = 3.2 pJ  (3.1 pJ multiply + 0.1 pJ add)
+    E_AC  = 0.1 pJ
+
+DNN inference energy:  sum_l FL_D^l * E_MAC           (all layers MAC)
+SNN inference energy:  FL_S^1 * E_MAC                 (direct encoding)
+                       + sum_{l>=2} FL_S^l * E_AC     (spike ACs)
+
+Neuromorphic model — total energy on TrueNorth / SpiNNaker estimated as
+``FLOPs * E_compute + T * E_static`` with normalised parameter pairs
+(0.4, 0.6) and (0.64, 0.36) respectively (Park et al., T2FSNN). Since
+FLOPs for VGG-16 exceed 1e9 while T <= 16, the energy is compute-bound,
+which is the paper's argument that GPU-side improvements carry over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .flops import LayerFlops
+
+PICOJOULE = 1e-12
+E_MAC_45NM = 3.2 * PICOJOULE
+E_AC_45NM = 0.1 * PICOJOULE
+
+NEUROMORPHIC_PARAMS = {
+    "truenorth": (0.4, 0.6),
+    "spinnaker": (0.64, 0.36),
+}
+
+
+@dataclass
+class EnergyModel:
+    """CMOS compute-energy model parameterised by MAC/AC energies."""
+
+    e_mac: float = E_MAC_45NM
+    e_ac: float = E_AC_45NM
+
+    def __post_init__(self) -> None:
+        if self.e_mac <= 0 or self.e_ac <= 0:
+            raise ValueError("energies must be positive")
+
+    def dnn_energy(self, records: List[LayerFlops]) -> float:
+        """Energy of the dense DNN: every layer's MACs at ``e_mac``."""
+        return sum(rec.macs for rec in records) * self.e_mac
+
+    def snn_energy(self, records: List[LayerFlops]) -> float:
+        """Energy of the converted SNN.
+
+        Layers flagged ``is_mac`` (the direct-encoded first layer) are
+        priced at ``e_mac``; all spike-driven layers at ``e_ac``.
+        """
+        total = 0.0
+        for rec in records:
+            price = self.e_mac if rec.is_mac else self.e_ac
+            total += rec.snn_ops * price
+        return total
+
+    def improvement(self, records: List[LayerFlops]) -> float:
+        """DNN / SNN energy ratio (the paper's headline numbers:
+        103.5x on CIFAR-10, 159.2x on CIFAR-100 for VGG-16 at T=2)."""
+        snn = self.snn_energy(records)
+        if snn == 0:
+            raise ZeroDivisionError("SNN energy is zero; measure activity first")
+        return self.dnn_energy(records) / snn
+
+
+def neuromorphic_energy(
+    total_flops: float, timesteps: int, platform: str = "truenorth"
+) -> float:
+    """Normalised total energy on neuromorphic hardware.
+
+    ``FLOPs * E_compute + T * E_static`` with the platform's normalised
+    ``(E_compute, E_static)`` pair.
+    """
+    if platform not in NEUROMORPHIC_PARAMS:
+        raise KeyError(
+            f"unknown platform '{platform}'; available: {sorted(NEUROMORPHIC_PARAMS)}"
+        )
+    if total_flops < 0 or timesteps <= 0:
+        raise ValueError("invalid flops/timesteps")
+    e_compute, e_static = NEUROMORPHIC_PARAMS[platform]
+    return total_flops * e_compute + timesteps * e_static

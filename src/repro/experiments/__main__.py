@@ -1,0 +1,130 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure from the shell:
+
+    python -m repro.experiments table1 --scale tiny
+    python -m repro.experiments table2 --dataset cifar10
+    python -m repro.experiments fig1
+    python -m repro.experiments fig2 --arch resnet20
+    python -m repro.experiments fig3
+    python -m repro.experiments fig4 --dataset cifar100
+    python -m repro.experiments ablation
+    python -m repro.experiments robustness --arch vgg11
+    python -m repro.experiments report          # results/*.json -> REPORT.md
+
+Results print as the paper-style tables and are archived under
+``results/`` as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import (
+    render_fig1,
+    render_noise_robustness,
+    run_noise_robustness,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_latency_ablation,
+    render_scaling_ablation,
+    render_table1,
+    render_table2,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_latency_ablation,
+    run_scaling_ablation,
+    run_table1,
+    run_table2,
+    save_results,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4",
+            "ablation", "robustness", "report",
+        ],
+    )
+    parser.add_argument("--scale", default="bench", choices=["tiny", "bench", "full"])
+    parser.add_argument("--dataset", default="cifar10", choices=["cifar10", "cifar100"])
+    parser.add_argument("--arch", default="vgg16",
+                        choices=["vgg11", "vgg16", "resnet20"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-save", action="store_true",
+                        help="skip writing results/<experiment>.json")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from .report_md import write_report
+
+        path = write_report()
+        print(f"wrote {path}")
+        return 0
+
+    if args.experiment == "table1":
+        rows = run_table1(scale_name=args.scale)
+        print(render_table1(rows))
+        payload = {"rows": rows}
+    elif args.experiment == "table2":
+        rows = run_table2(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
+        print(render_table2(rows))
+        payload = {"rows": rows}
+    elif args.experiment == "fig1":
+        result = run_fig1(scale_name=args.scale, dataset=args.dataset, seed=args.seed)
+        print(render_fig1(result))
+        payload = {
+            key: result[key]
+            for key in ("mu", "d_max", "alpha", "beta", "k_mu", "h_t_mu")
+        }
+    elif args.experiment == "fig2":
+        result = run_fig2(
+            arch=args.arch, dataset=args.dataset,
+            scale_name=args.scale, seed=args.seed,
+        )
+        print(render_fig2(result))
+        payload = result
+    elif args.experiment == "fig3":
+        result = run_fig3(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
+        print(render_fig3(result))
+        payload = result
+    elif args.experiment == "fig4":
+        result = run_fig4(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
+        print(render_fig4(result))
+        payload = result
+    elif args.experiment == "robustness":
+        result = run_noise_robustness(
+            arch=args.arch, dataset=args.dataset,
+            scale_name=args.scale, seed=args.seed,
+        )
+        print(render_noise_robustness(result))
+        payload = result
+    else:
+        rows = run_scaling_ablation(
+            dataset=args.dataset, scale_name=args.scale, seed=args.seed
+        )
+        print(render_scaling_ablation(rows))
+        latency = run_latency_ablation(
+            dataset=args.dataset, scale_name=args.scale, seed=args.seed
+        )
+        print()
+        print(render_latency_ablation(latency))
+        payload = {"scaling": rows, "latency": latency}
+
+    if not args.no_save:
+        path = save_results(f"cli_{args.experiment}", payload)
+        print(f"\nsaved: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Ablation study (end of Section IV-B).
+
+Two claims are ablated:
+
+1. Replacing the proposed alpha/beta scaling with the prior
+   threshold-scaling heuristics ([16], [24] — a linear grid search over
+   the threshold, no output scaling) and then applying SGL collapses
+   accuracy at T in {2, 3} (paper: ~10% on CIFAR-10, ~1% on CIFAR-100,
+   i.e. chance level).
+2. Conversion alone (no SGL): the proposed scaling needs ~12 steps to
+   approach the DNN's accuracy, while the SOTA conversion [15] needs
+   ~16 — the proposed scheme dominates the whole latency axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..train import evaluate_snn
+from .config import ExperimentConfig, get_scale
+from .context import get_context
+from .pipeline import convert_only, run_pipeline
+from .reporting import format_table
+
+
+def run_scaling_ablation(
+    dataset: str = "cifar10",
+    scale_name: str = "bench",
+    timesteps: Sequence[int] = (2, 3),
+    seed: int = 0,
+) -> List[dict]:
+    """Claim 1: grid threshold-scaling + SGL vs alpha/beta + SGL."""
+    scale = get_scale(scale_name)
+    base = ExperimentConfig(
+        arch="vgg16", dataset=dataset, timesteps=2, scale=scale, seed=seed
+    )
+    rows = []
+    for t in timesteps:
+        config = base.with_timesteps(t)
+        ours = run_pipeline(config, strategy="proposed")
+        heuristic = run_pipeline(config, strategy="grid_scaling")
+        rows.append(
+            {
+                "dataset": dataset,
+                "timesteps": t,
+                "proposed_sgl_accuracy": ours.snn_accuracy * 100.0,
+                "grid_scaling_sgl_accuracy": heuristic.snn_accuracy * 100.0,
+                "proposed_conversion_accuracy": ours.conversion_accuracy * 100.0,
+                "grid_scaling_conversion_accuracy": heuristic.conversion_accuracy
+                * 100.0,
+                "dnn_accuracy": ours.dnn_accuracy * 100.0,
+            }
+        )
+    return rows
+
+
+def run_latency_ablation(
+    dataset: str = "cifar10",
+    scale_name: str = "bench",
+    timesteps: Sequence[int] = (2, 3, 4, 5, 8, 12, 16),
+    tolerance: float = 0.05,
+    seed: int = 0,
+) -> Dict:
+    """Claim 2: minimum conversion-only T to approach DNN accuracy.
+
+    ``tolerance`` is the acceptable accuracy gap (fraction of 1) to the
+    source DNN.  Returns the sweep plus the first-T-to-converge for the
+    proposed scaling and the Deng-style conversion.
+    """
+    scale = get_scale(scale_name)
+    base = ExperimentConfig(
+        arch="vgg16", dataset=dataset, timesteps=2, scale=scale, seed=seed
+    )
+    context = get_context(base)
+    test_loader = context.test_loader()
+    target = context.dnn_accuracy - tolerance
+
+    sweep: Dict[str, List[float]] = {"proposed": [], "deng_shift": []}
+    for t in timesteps:
+        config = base.with_timesteps(t)
+        for strategy in sweep:
+            conversion = convert_only(config, strategy=strategy, context=context)
+            sweep[strategy].append(evaluate_snn(conversion.snn, test_loader))
+
+    def first_converged(series: List[float]) -> int:
+        for t, accuracy in zip(timesteps, series):
+            if accuracy >= target:
+                return t
+        return -1  # never converged within the sweep
+
+    return {
+        "dataset": dataset,
+        "timesteps": list(timesteps),
+        "sweep": {k: [v * 100.0 for v in series] for k, series in sweep.items()},
+        "dnn_accuracy": context.dnn_accuracy * 100.0,
+        "target_accuracy": target * 100.0,
+        "first_t_proposed": first_converged(sweep["proposed"]),
+        "first_t_deng": first_converged(sweep["deng_shift"]),
+    }
+
+
+def render_scaling_ablation(rows: List[dict]) -> str:
+    headers = [
+        "T",
+        "ours+SGL %",
+        "grid-scale+SGL %",
+        "ours conv %",
+        "grid-scale conv %",
+        "DNN %",
+    ]
+    body = [
+        [
+            r["timesteps"],
+            r["proposed_sgl_accuracy"],
+            r["grid_scaling_sgl_accuracy"],
+            r["proposed_conversion_accuracy"],
+            r["grid_scaling_conversion_accuracy"],
+            r["dnn_accuracy"],
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Ablation — scaling rule vs SGL outcome")
+
+
+def render_latency_ablation(result: Dict) -> str:
+    headers = ["T", "proposed conv %", "deng conv %"]
+    body = [
+        [t, p, d]
+        for t, p, d in zip(
+            result["timesteps"], result["sweep"]["proposed"], result["sweep"]["deng_shift"]
+        )
+    ]
+    table = format_table(
+        headers, body, title=f"Ablation — conversion-only latency ({result['dataset']})"
+    )
+    return (
+        table
+        + f"\nDNN = {result['dnn_accuracy']:.2f}%, target = {result['target_accuracy']:.2f}%"
+        + f"\nfirst T to converge: proposed = {result['first_t_proposed']}, "
+        + f"deng = {result['first_t_deng']}"
+    )

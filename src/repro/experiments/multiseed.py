@@ -1,0 +1,95 @@
+"""Multi-seed robustness sweeps.
+
+Reduced-scale runs are noisy; a claim like "the alpha/beta conversion
+beats the unscaled one at T=2" is only meaningful if it holds across
+seeds.  This module repeats the pipeline over a seed list and reports
+mean/std/min/max for each accuracy stage, plus the per-seed win/loss
+record of the proposed conversion against a baseline strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .config import ExperimentConfig
+from .pipeline import run_pipeline
+
+
+@dataclass
+class SeedSweepResult:
+    """Aggregated accuracies over a seed sweep."""
+
+    config: ExperimentConfig
+    seeds: List[int]
+    dnn: List[float]
+    conversion: List[float]
+    snn: List[float]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        out = {}
+        for name, values in (
+            ("dnn", self.dnn), ("conversion", self.conversion), ("snn", self.snn)
+        ):
+            arr = np.asarray(values)
+            out[name] = {
+                "mean": float(arr.mean()),
+                "std": float(arr.std()),
+                "min": float(arr.min()),
+                "max": float(arr.max()),
+            }
+        return out
+
+
+def seed_sweep(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    strategy: str = "proposed",
+    fine_tune: bool = True,
+) -> SeedSweepResult:
+    """Run the pipeline once per seed and collect the three accuracies."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    dnn, conversion, snn = [], [], []
+    for seed in seeds:
+        result = run_pipeline(
+            replace(config, seed=int(seed)), strategy=strategy, fine_tune=fine_tune
+        )
+        dnn.append(result.dnn_accuracy)
+        conversion.append(result.conversion_accuracy)
+        snn.append(result.snn_accuracy)
+    return SeedSweepResult(
+        config=config, seeds=[int(s) for s in seeds],
+        dnn=dnn, conversion=conversion, snn=snn,
+    )
+
+
+def strategy_win_rate(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    strategy_a: str = "proposed",
+    strategy_b: str = "threshold_relu",
+) -> Dict:
+    """Per-seed conversion-accuracy comparison of two strategies.
+
+    Returns the per-seed accuracies and the fraction of seeds where
+    ``strategy_a``'s conversion accuracy is at least ``strategy_b``'s.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    a_acc, b_acc = [], []
+    for seed in seeds:
+        seeded = replace(config, seed=int(seed))
+        a = run_pipeline(seeded, strategy=strategy_a, fine_tune=False)
+        b = run_pipeline(seeded, strategy=strategy_b, fine_tune=False)
+        a_acc.append(a.conversion_accuracy)
+        b_acc.append(b.conversion_accuracy)
+    wins = sum(1 for a, b in zip(a_acc, b_acc) if a >= b)
+    return {
+        "seeds": [int(s) for s in seeds],
+        strategy_a: a_acc,
+        strategy_b: b_acc,
+        "win_rate": wins / len(seeds),
+    }

@@ -1,0 +1,116 @@
+"""End-to-end pipeline: train DNN -> convert -> SGL fine-tune.
+
+One run of :func:`run_pipeline` produces a Table-I row: the source DNN
+accuracy (column a), the accuracy straight after DNN-to-SNN conversion
+(column b — "far from SOTA, but a good initialisation"), and the
+accuracy after surrogate-gradient fine-tuning in the SNN domain
+(column c).
+
+Fine-tuned SNNs are cached per (context, T, strategy) so figures that
+reuse them (Figs. 3-4) do not retrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..conversion import ConversionConfig, ConversionResult, convert_dnn_to_snn
+from ..snn import SpikingNetwork
+from ..train import SNNTrainConfig, SNNTrainer, TrainingHistory, evaluate_snn
+from .config import ExperimentConfig
+from .context import ExperimentContext, get_context
+
+_SNN_CACHE: Dict[tuple, "PipelineResult"] = {}
+
+
+@dataclass
+class PipelineResult:
+    """All artefacts of one pipeline run (one Table-I row)."""
+
+    config: ExperimentConfig
+    context: ExperimentContext
+    conversion: ConversionResult
+    snn: SpikingNetwork
+    dnn_accuracy: float
+    conversion_accuracy: float
+    snn_accuracy: float
+    snn_history: Optional[TrainingHistory]
+
+    def as_row(self) -> dict:
+        return {
+            "architecture": self.config.arch,
+            "dataset": self.config.dataset,
+            "timesteps": self.config.timesteps,
+            "dnn_accuracy": self.dnn_accuracy,
+            "conversion_accuracy": self.conversion_accuracy,
+            "snn_accuracy": self.snn_accuracy,
+        }
+
+
+def convert_only(
+    config: ExperimentConfig,
+    strategy: str = "proposed",
+    context: Optional[ExperimentContext] = None,
+    **strategy_kwargs,
+) -> ConversionResult:
+    """Convert the (cached) trained DNN without fine-tuning."""
+    context = context or get_context(config)
+    conversion_config = ConversionConfig(
+        timesteps=config.timesteps,
+        strategy=strategy,
+        calibration_batches=config.scale.calibration_batches,
+        strategy_kwargs=strategy_kwargs,
+    )
+    return convert_dnn_to_snn(
+        context.model, context.calibration_loader(), conversion_config
+    )
+
+
+def run_pipeline(
+    config: ExperimentConfig,
+    strategy: str = "proposed",
+    fine_tune: bool = True,
+    snn_lr: float = 5e-4,
+    verbose: bool = False,
+) -> PipelineResult:
+    """Run (or fetch from cache) the full hybrid-training pipeline."""
+    key = (config.context_key(), config.timesteps, strategy, fine_tune, snn_lr)
+    if key in _SNN_CACHE:
+        return _SNN_CACHE[key]
+
+    context = get_context(config, verbose=verbose)
+    conversion = convert_only(config, strategy=strategy, context=context)
+    test_loader = context.test_loader()
+    conversion_accuracy = evaluate_snn(conversion.snn, test_loader)
+
+    history = None
+    if fine_tune:
+        trainer = SNNTrainer(
+            SNNTrainConfig(epochs=config.scale.snn_epochs, lr=snn_lr)
+        )
+        history = trainer.fit(
+            conversion.snn,
+            context.train_loader(seed=config.seed + 2),
+            test_loader,
+            verbose=verbose,
+        )
+    snn_accuracy = evaluate_snn(conversion.snn, test_loader)
+
+    result = PipelineResult(
+        config=config,
+        context=context,
+        conversion=conversion,
+        snn=conversion.snn,
+        dnn_accuracy=context.dnn_accuracy,
+        conversion_accuracy=conversion_accuracy,
+        snn_accuracy=snn_accuracy,
+        snn_history=history,
+    )
+    _SNN_CACHE[key] = result
+    return result
+
+
+def clear_pipeline_cache() -> None:
+    """Drop cached pipeline results (used by tests)."""
+    _SNN_CACHE.clear()

@@ -1,0 +1,97 @@
+"""Terminal plotting and CSV export for figure data.
+
+The environment has no plotting stack, so figures are rendered two
+ways: an ASCII chart for immediate inspection (used by the benchmark
+output) and a CSV dump (``results/*.csv``) that any external tool can
+plot to reproduce the paper's figures exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more line series as an ASCII scatter chart.
+
+    Each series gets a distinct glyph; x positions are mapped linearly.
+    Collisions (two series on the same cell) show the later glyph.
+    """
+    x = np.asarray(list(x), dtype=np.float64)
+    if x.size == 0 or not series:
+        raise ValueError("nothing to plot")
+    all_y = np.concatenate([np.asarray(list(v), dtype=np.float64) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for xv, yv in zip(x, values):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_min:<.4g}" + " " * max(1, width - 12) + f"{x_max:>.4g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)
+
+
+def export_csv(
+    name: str,
+    columns: Dict[str, Sequence],
+    directory: str = "results",
+) -> str:
+    """Write aligned columns to ``results/<name>.csv``; returns the path."""
+    if not columns:
+        raise ValueError("no columns to export")
+    lengths = {len(list(v)) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column lengths differ: {sorted(lengths)}")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.csv")
+    keys = list(columns)
+    rows = zip(*[list(columns[k]) for k in keys])
+    with open(path, "w") as handle:
+        handle.write(",".join(keys) + "\n")
+        for row in rows:
+            handle.write(",".join(str(v) for v in row) + "\n")
+    return path

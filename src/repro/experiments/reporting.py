@@ -1,0 +1,59 @@
+"""Plain-text table rendering and JSON result persistence.
+
+Every benchmark prints the same rows the paper's tables/figures report,
+via :func:`format_table`, and optionally archives the numbers with
+:func:`save_results` so EXPERIMENTS.md can be refreshed from real runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_from_dicts(records: Sequence[Dict], columns: Sequence[str]) -> List[List]:
+    """Project a list of dicts onto ordered columns."""
+    return [[record.get(col, "") for col in columns] for record in records]
+
+
+def save_results(name: str, payload: Dict, directory: str = "results") -> str:
+    """Persist a result payload as JSON; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path

@@ -1,0 +1,107 @@
+"""Table I: model performance after (a) DNN training, (b) DNN-to-SNN
+conversion, (c) SNN (SGL) training — for every (architecture, dataset)
+pair the paper reports, at T = 2 and 3.
+
+Paper reference values (full scale):
+
+    CIFAR-10  VGG-11    T=2: 90.76 / 65.82 / 89.39
+              VGG-11    T=3: 91.10 / 78.76 / 89.79
+              VGG-16    T=2: 93.26 / 69.58 / 91.79
+              VGG-16    T=3: 93.26 / 85.06 / 91.93
+              ResNet-20 T=2: 93.07 / 61.96 / 90.00
+              ResNet-20 T=3: 93.07 / 73.57 / 90.06
+    CIFAR-100 VGG-16    T=2: 68.45 / 19.57 / 64.19
+              VGG-16    T=3: 68.45 / 36.84 / 63.92
+              ResNet-20 T=2: 63.88 / 19.85 / 57.81
+              ResNet-20 T=3: 63.88 / 31.43 / 59.29
+
+Expected shape at reduced scale: conversion accuracy (b) is far below
+(a); SGL (c) recovers most of the gap; the T=3 conversion beats T=2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .config import ExperimentConfig, ScalePreset, get_scale
+from .pipeline import run_pipeline
+from .reporting import format_table
+
+# The (architecture, dataset) grid of Table I.
+TABLE1_GRID: List[Tuple[str, str]] = [
+    ("vgg11", "cifar10"),
+    ("vgg16", "cifar10"),
+    ("resnet20", "cifar10"),
+    ("vgg16", "cifar100"),
+    ("resnet20", "cifar100"),
+]
+
+PAPER_TABLE1: Dict[Tuple[str, str, int], Tuple[float, float, float]] = {
+    ("vgg11", "cifar10", 2): (90.76, 65.82, 89.39),
+    ("vgg11", "cifar10", 3): (91.10, 78.76, 89.79),
+    ("vgg16", "cifar10", 2): (93.26, 69.58, 91.79),
+    ("vgg16", "cifar10", 3): (93.26, 85.06, 91.93),
+    ("resnet20", "cifar10", 2): (93.07, 61.96, 90.00),
+    ("resnet20", "cifar10", 3): (93.07, 73.57, 90.06),
+    ("vgg16", "cifar100", 2): (68.45, 19.57, 64.19),
+    ("vgg16", "cifar100", 3): (68.45, 36.84, 63.92),
+    ("resnet20", "cifar100", 2): (63.88, 19.85, 57.81),
+    ("resnet20", "cifar100", 3): (63.88, 31.43, 59.29),
+}
+
+
+def run_table1_cell(
+    arch: str,
+    dataset: str,
+    timesteps: int,
+    scale: ScalePreset,
+    seed: int = 0,
+) -> dict:
+    """One Table-I row: accuracies (a), (b), (c) for an (arch, dataset, T)."""
+    config = ExperimentConfig(
+        arch=arch, dataset=dataset, timesteps=timesteps, scale=scale, seed=seed
+    )
+    result = run_pipeline(config)
+    paper = PAPER_TABLE1.get((arch, dataset, timesteps))
+    return {
+        "architecture": arch,
+        "dataset": dataset,
+        "timesteps": timesteps,
+        "dnn_accuracy": result.dnn_accuracy * 100.0,
+        "conversion_accuracy": result.conversion_accuracy * 100.0,
+        "snn_accuracy": result.snn_accuracy * 100.0,
+        "paper_dnn": paper[0] if paper else None,
+        "paper_conversion": paper[1] if paper else None,
+        "paper_snn": paper[2] if paper else None,
+    }
+
+
+def run_table1(
+    scale_name: str = "bench",
+    grid: List[Tuple[str, str]] = None,
+    timesteps: Tuple[int, ...] = (2, 3),
+) -> List[dict]:
+    """All Table-I rows (optionally on a sub-grid)."""
+    scale = get_scale(scale_name)
+    rows = []
+    for arch, dataset in grid if grid is not None else TABLE1_GRID:
+        for t in timesteps:
+            rows.append(run_table1_cell(arch, dataset, t, scale))
+    return rows
+
+
+def render_table1(rows: List[dict]) -> str:
+    headers = [
+        "arch", "dataset", "T",
+        "DNN %", "conv %", "SNN %",
+        "paper DNN", "paper conv", "paper SNN",
+    ]
+    body = [
+        [
+            r["architecture"], r["dataset"], r["timesteps"],
+            r["dnn_accuracy"], r["conversion_accuracy"], r["snn_accuracy"],
+            r["paper_dnn"], r["paper_conversion"], r["paper_snn"],
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table I — DNN / conversion / SNN accuracy")

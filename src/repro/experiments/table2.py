@@ -1,0 +1,157 @@
+"""Table II: comparison with state-of-the-art deep-SNN training methods.
+
+The paper compares its 2-step hybrid-trained VGG-16 against:
+
+- Wu et al. 2019  — surrogate-gradient training from scratch (12 steps);
+- Rathi et al. 2020 (DIET-SNN) — hybrid training at 5 steps;
+- Kundu et al. 2021 — hybrid training at 10 steps;
+- Deng et al. 2021 — optimal conversion (no SGL) at 16 steps.
+
+Each comparator is re-implemented on this substrate:
+
+- "surrogate-scratch": a randomly-initialised SNN trained purely with
+  SGL (no conversion) at a larger T;
+- "hybrid-T": the same conversion+SGL pipeline at the baseline's T,
+  initialised from the Deng-style shift conversion — the strongest
+  *prior* conversion rule in this library, standing in for DIET-SNN's
+  working threshold-balanced initialisation (those works do not scale
+  the threshold/output the way the paper does);
+- "deng-conversion": Deng-style optimal-shift conversion, no SGL.
+
+Expected shape: the proposed 2-step model is within a small gap of the
+higher-T baselines — the latency win (2.5-8x fewer steps) at nearly the
+same accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..conversion import ConversionConfig, convert_dnn_to_snn
+from ..snn import SpikingNetwork
+from ..train import SNNTrainConfig, SNNTrainer, evaluate_snn
+from .config import ExperimentConfig, get_scale
+from .context import get_context
+from .pipeline import convert_only, run_pipeline
+from .reporting import format_table
+
+PAPER_TABLE2 = {
+    "cifar10": [
+        ("Wu et al. 2019", "surrogate gradient", 90.53, 12),
+        ("Rathi et al. 2020", "hybrid training", 92.70, 5),
+        ("Kundu et al. 2021", "hybrid training", 92.74, 10),
+        ("Deng et al. 2021", "DNN-to-SNN conversion", 92.29, 16),
+        ("this work", "hybrid training", 91.79, 2),
+    ],
+    "cifar100": [
+        ("Kundu et al. 2021", "hybrid training", 65.34, 10),
+        ("Deng et al. 2021", "DNN-to-SNN conversion", 65.94, 16),
+        ("this work", "hybrid training", 64.19, 2),
+    ],
+}
+
+
+def _train_scratch_snn(config: ExperimentConfig, timesteps: int) -> float:
+    """Surrogate-gradient training from scratch at ``timesteps``.
+
+    Builds an *untrained* copy of the architecture, converts it with
+    unit thresholds (no calibration value is meaningful for random
+    weights) and trains with SGL only — the Wu et al. style baseline.
+    """
+    from .context import _build_model  # deterministic same-arch builder
+
+    context = get_context(config)
+    fresh = _build_model(config)
+    conversion = convert_dnn_to_snn(
+        fresh,
+        context.calibration_loader(),
+        ConversionConfig(
+            timesteps=timesteps,
+            strategy="threshold_relu",
+            calibration_batches=config.scale.calibration_batches,
+        ),
+    )
+    trainer = SNNTrainer(
+        SNNTrainConfig(epochs=config.scale.snn_epochs, lr=1e-3)
+    )
+    trainer.fit(
+        conversion.snn,
+        context.train_loader(seed=config.seed + 3),
+        context.test_loader(),
+    )
+    return evaluate_snn(conversion.snn, context.test_loader())
+
+
+def run_table2(dataset: str = "cifar10", scale_name: str = "bench", seed: int = 0) -> List[dict]:
+    """Reproduce the Table-II comparison for one dataset (VGG-16)."""
+    scale = get_scale(scale_name)
+    base = ExperimentConfig(
+        arch="vgg16", dataset=dataset, timesteps=2, scale=scale, seed=seed
+    )
+    context = get_context(base)
+    rows: List[dict] = []
+
+    # Surrogate-gradient from scratch (Wu et al.) at a larger T.
+    scratch_t = 6 if scale.name != "full" else 12
+    rows.append(
+        {
+            "method": "surrogate-scratch (Wu'19 style)",
+            "training": "surrogate gradient",
+            "timesteps": scratch_t,
+            "accuracy": _train_scratch_snn(base, scratch_t) * 100.0,
+        }
+    )
+
+    # Hybrid training at the DIET-SNN latency (Rathi et al.).
+    hybrid_t = 5
+    hybrid = run_pipeline(
+        base.with_timesteps(hybrid_t), strategy="deng_shift"
+    )
+    rows.append(
+        {
+            "method": "hybrid 5-step (Rathi'20 style)",
+            "training": "hybrid training",
+            "timesteps": hybrid_t,
+            "accuracy": hybrid.snn_accuracy * 100.0,
+        }
+    )
+
+    # Deng et al. optimal conversion, no SGL, at 16 steps.
+    deng_t = 16
+    deng = convert_only(
+        base.with_timesteps(deng_t), strategy="deng_shift", context=context
+    )
+    rows.append(
+        {
+            "method": "optimal conversion (Deng'21 style)",
+            "training": "DNN-to-SNN conversion",
+            "timesteps": deng_t,
+            "accuracy": evaluate_snn(deng.snn, context.test_loader()) * 100.0,
+        }
+    )
+
+    # This work: alpha/beta conversion + SGL at T = 2.
+    ours = run_pipeline(base)
+    rows.append(
+        {
+            "method": "this work (alpha/beta + SGL)",
+            "training": "hybrid training",
+            "timesteps": 2,
+            "accuracy": ours.snn_accuracy * 100.0,
+        }
+    )
+    for row in rows:
+        row["dataset"] = dataset
+        row["dnn_reference"] = context.dnn_accuracy * 100.0
+    return rows
+
+
+def render_table2(rows: List[dict]) -> str:
+    headers = ["method", "training type", "T", "accuracy %", "DNN ref %"]
+    body = [
+        [r["method"], r["training"], r["timesteps"], r["accuracy"], r["dnn_reference"]]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table II — SOTA comparison (VGG-16)")

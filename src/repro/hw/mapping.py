@@ -1,0 +1,213 @@
+"""Mapping converted SNNs onto neuromorphic core grids.
+
+Section VI-B of the paper estimates energy on TrueNorth/SpiNNaker from
+FLOP counts alone.  This module models the deployment itself, in the
+style of TrueNorth's architecture: a chip is a mesh of cores, each with
+a bounded number of neurons and a bounded fan-in (axons) per neuron.
+Mapping a layer means tiling its neurons across cores; a synapse whose
+source and destination live on different cores sends its spikes over
+the mesh.
+
+The estimator reports, per layer and in total:
+
+- cores required (neuron capacity and fan-in limits both bind);
+- synaptic memory (crossbar entries actually used);
+- expected inter-core spike traffic per inference, given measured
+  per-layer spike rates (local traffic is free, as on TrueNorth);
+- a deployment-aware energy estimate: compute (one accumulate per
+  synaptic event) + mesh hops + per-step static power per core.
+
+All numbers are normalised model units, comparable across mappings —
+the same spirit as the paper's normalised (E_compute, E_static) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..nn import Conv2d, Linear
+from ..snn import SpikingNetwork
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Capabilities of one neuromorphic core (TrueNorth-like defaults)."""
+
+    neurons_per_core: int = 256
+    axons_per_core: int = 256  # distinct pre-synaptic sources per core
+    synapses_per_core: int = 256 * 256
+
+    def __post_init__(self) -> None:
+        if self.neurons_per_core <= 0 or self.axons_per_core <= 0:
+            raise ValueError("core capacities must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Normalised costs of the deployment model."""
+
+    per_synaptic_event: float = 1.0  # one crossbar accumulate
+    per_mesh_hop: float = 2.0  # route one spike one hop
+    per_core_per_step: float = 0.5  # static/leakage per active core-step
+
+    def __post_init__(self) -> None:
+        if min(self.per_synaptic_event, self.per_mesh_hop, self.per_core_per_step) < 0:
+            raise ValueError("energy coefficients must be non-negative")
+
+
+@dataclass
+class LayerMapping:
+    """Deployment of one weight layer onto cores."""
+
+    name: str
+    neurons: int
+    inputs: int
+    fan_in: int
+    synapses: int
+    cores: int
+    input_spikes_per_inference: float
+    crossing_fraction: float
+
+    @property
+    def average_fan_out(self) -> float:
+        """Synapses each presynaptic source drives, on average."""
+        if self.inputs == 0:
+            return 0.0
+        return self.synapses / self.inputs
+
+    @property
+    def synaptic_events(self) -> float:
+        """Accumulates per inference: each input spike triggers one
+        accumulate per synapse it drives."""
+        return self.input_spikes_per_inference * self.average_fan_out
+
+    @property
+    def mesh_messages(self) -> float:
+        """Spike deliveries that cross core boundaries per inference.
+
+        Each spike must reach every core slice holding its targets;
+        with ``cores`` slices, all but (approximately) one delivery per
+        spike traverses the mesh.
+        """
+        if self.cores <= 1:
+            return 0.0
+        return self.input_spikes_per_inference * self.crossing_fraction * self.cores
+
+
+@dataclass
+class DeploymentReport:
+    """Whole-network deployment summary."""
+
+    layers: List[LayerMapping]
+    core_spec: CoreSpec
+    timesteps: int
+
+    @property
+    def total_cores(self) -> int:
+        return sum(layer.cores for layer in self.layers)
+
+    @property
+    def total_synapses(self) -> int:
+        return sum(layer.synapses for layer in self.layers)
+
+    def energy(self, coefficients: Optional[EnergyCoefficients] = None) -> float:
+        c = coefficients or EnergyCoefficients()
+        compute = sum(l.synaptic_events for l in self.layers)
+        traffic = sum(l.mesh_messages for l in self.layers)
+        static = self.total_cores * self.timesteps * c.per_core_per_step
+        return (
+            compute * c.per_synaptic_event
+            + traffic * c.per_mesh_hop
+            + static
+        )
+
+
+def _layer_geometry(inner, in_shape) -> Tuple[int, int, int, int, Tuple[int, ...]]:
+    """(neurons, inputs, fan_in, synapses, out_shape) of a weight layer."""
+    if isinstance(inner, Conv2d):
+        channels, height, width = in_shape
+        k, s, p = inner.kernel_size, inner.stride, inner.padding
+        out_h = (height + 2 * p - k) // s + 1
+        out_w = (width + 2 * p - k) // s + 1
+        neurons = inner.out_channels * out_h * out_w
+        inputs = channels * height * width
+        fan_in = inner.in_channels * k * k
+        synapses = neurons * fan_in
+        return neurons, inputs, fan_in, synapses, (inner.out_channels, out_h, out_w)
+    if isinstance(inner, Linear):
+        neurons = inner.out_features
+        inputs = inner.in_features
+        return neurons, inputs, inputs, neurons * inputs, (neurons,)
+    raise TypeError(f"not a weight layer: {type(inner).__name__}")
+
+
+def _cores_for_layer(neurons: int, fan_in: int, spec: CoreSpec) -> int:
+    """Cores needed to host a layer under neuron and fan-in limits.
+
+    Output neurons are tiled across cores; if a neuron's fan-in exceeds
+    the core's axon count, inputs are split across ``ceil(fan_in /
+    axons)`` cores whose partial sums are chained (the standard
+    TrueNorth decomposition), multiplying the core count.
+    """
+    fan_in_splits = max(1, math.ceil(fan_in / spec.axons_per_core))
+    neuron_tiles = max(1, math.ceil(neurons / spec.neurons_per_core))
+    return neuron_tiles * fan_in_splits
+
+
+def map_network(
+    snn: SpikingNetwork,
+    images,
+    core_spec: Optional[CoreSpec] = None,
+) -> DeploymentReport:
+    """Map every weight layer of ``snn`` onto neuromorphic cores.
+
+    The mapping is driven by an exact event-driven measurement run
+    (:class:`repro.snn.EventDrivenNetwork`): each layer's geometry
+    comes from the shape it actually saw (so pooling / flatten stages
+    are handled exactly), and its input spike traffic from the counted
+    events — no rate approximations.
+
+    Parameters
+    ----------
+    snn:
+        The converted network.
+    images:
+        A representative (normalised) input batch; per-inference
+        figures are averaged over it.
+    core_spec:
+        Core capabilities (TrueNorth-like defaults).
+    """
+    from ..snn import EventDrivenNetwork
+
+    spec = core_spec or CoreSpec()
+    runner = EventDrivenNetwork(snn)
+    _logits, counts = runner.run(images)
+    if not runner.weight_layers:
+        raise ValueError("network has no weight layers to map")
+
+    layers: List[LayerMapping] = []
+    input_events = counts.input_events_per_image()
+    for index, inner in enumerate(runner.weight_layers):
+        in_shape = counts.input_shapes[index]
+        neurons, inputs, fan_in, synapses, _out_shape = _layer_geometry(
+            inner, in_shape
+        )
+        cores = _cores_for_layer(neurons, fan_in, spec)
+        # Fraction of deliveries that cross cores: with one core there
+        # is no mesh traffic; with many, approximate all-but-local.
+        crossing = 0.0 if cores == 1 else (cores - 1) / cores
+        layers.append(
+            LayerMapping(
+                name=counts.layer_names[index],
+                neurons=neurons,
+                inputs=inputs,
+                fan_in=fan_in,
+                synapses=synapses,
+                cores=cores,
+                input_spikes_per_inference=float(input_events[index]),
+                crossing_fraction=crossing,
+            )
+        )
+    return DeploymentReport(layers=layers, core_spec=spec, timesteps=snn.timesteps)

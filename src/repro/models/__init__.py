@@ -1,0 +1,18 @@
+"""Network architectures: VGG-11/16 and ResNet-20 (paper Section IV)."""
+
+from .registry import available_models, build_model, register_model
+from .resnet import BasicBlock, ResNet, resnet20
+from .vgg import VGG, VGG_CONFIGS, vgg11, vgg16
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "VGG",
+    "VGG_CONFIGS",
+    "available_models",
+    "build_model",
+    "register_model",
+    "resnet20",
+    "vgg11",
+    "vgg16",
+]

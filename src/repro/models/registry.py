@@ -1,0 +1,40 @@
+"""Model registry: build architectures by name.
+
+Used by the experiment configs so every table/figure driver can specify
+its architecture as a string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..nn import Module
+from .resnet import resnet20
+from .vgg import vgg11, vgg16
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {
+    "vgg11": vgg11,
+    "vgg16": vgg16,
+    "resnet20": resnet20,
+}
+
+
+def available_models() -> list:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_REGISTRY)
+
+
+def register_model(name: str, factory: Callable[..., Module]) -> None:
+    """Register a custom architecture factory under ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"model '{name}' already registered")
+    _REGISTRY[name] = factory
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered architecture."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown model '{name}'; available: {available_models()}"
+        )
+    return _REGISTRY[name](**kwargs)

@@ -1,0 +1,137 @@
+"""ResNet-20 (CIFAR-style) in the paper's BN-free configuration.
+
+The standard CIFAR ResNet-20 (He et al. 2016): a 3x3 stem, three stages
+of three basic blocks with 16/32/64 channels, spatial downsampling by
+stride-2 at stage boundaries, global average pooling and a linear
+classifier.  As with VGG, BatchNorm is omitted (the paper's conversion
+drops biases) and the activations are trainable-threshold ReLUs; plain
+ReLU is available for the max-pre-activation conversion baseline.
+
+Residual addition in the converted SNN sums the synaptic currents of the
+main branch and the shortcut before the output IF neuron, mirroring how
+spiking ResNets integrate skip paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import (
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    ThresholdReLU,
+)
+from ..tensor import Tensor
+from .vgg import _make_activation
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with an additive shortcut.
+
+    ``out = act2(conv2(act1(conv1(x))) + shortcut(x))``
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        activation: str = "threshold_relu",
+        init_threshold: float = 4.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.conv1 = Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        )
+        self.act1 = _make_activation(activation, init_threshold)
+        self.conv2 = Conv2d(
+            out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng
+        )
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut: Module = Conv2d(
+                in_channels, out_channels, 1, stride=stride, padding=0, bias=False, rng=rng
+            )
+        else:
+            self.shortcut = Identity()
+        self.act2 = _make_activation(activation, init_threshold)
+
+    def forward(self, x: Tensor) -> Tensor:
+        branch = self.conv2(self.act1(self.conv1(x)))
+        return self.act2(branch + self.shortcut(x))
+
+
+class ResNet(Module):
+    """CIFAR-style ResNet; ``depth = 6n + 2`` with ``n`` blocks per stage."""
+
+    def __init__(
+        self,
+        depth: int = 20,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width_multiplier: float = 1.0,
+        activation: str = "threshold_relu",
+        init_threshold: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if (depth - 2) % 6 != 0:
+            raise ValueError(f"depth must be 6n+2, got {depth}")
+        rng = rng if rng is not None else np.random.default_rng()
+        blocks_per_stage = (depth - 2) // 6
+        widths = [max(4, int(round(w * width_multiplier))) for w in (16, 32, 64)]
+        self.name = f"resnet{depth}"
+        self.num_classes = num_classes
+        self.activation_kind = activation
+
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=rng),
+            _make_activation(activation, init_threshold),
+        )
+        stages: List[Module] = []
+        channels = widths[0]
+        for stage_index, width in enumerate(widths):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(
+                    BasicBlock(
+                        channels,
+                        width,
+                        stride=stride,
+                        activation=activation,
+                        init_threshold=init_threshold,
+                        rng=rng,
+                    )
+                )
+                channels = width
+        self.stages = Sequential(*stages)
+        head_layers: List[Module] = [GlobalAvgPool2d()]
+        if dropout > 0:
+            head_layers.append(Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31))))
+        head_layers.append(Linear(channels, num_classes, bias=False, rng=rng))
+        self.head = Sequential(*head_layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.stages(self.stem(x)))
+
+    def threshold_layers(self) -> List[ThresholdReLU]:
+        """All trainable-threshold activations, in forward order."""
+        return [m for m in self.modules() if isinstance(m, ThresholdReLU)]
+
+    def extra_repr(self) -> str:
+        return f"name={self.name}, classes={self.num_classes}"
+
+
+def resnet20(**kwargs) -> ResNet:
+    """ResNet-20 in the paper's BN-free configuration."""
+    return ResNet(depth=20, **kwargs)

@@ -1,0 +1,159 @@
+"""VGG architectures (VGG-11 / VGG-16) in the paper's configuration.
+
+Per Section IV-A of the paper:
+- no BatchNorm (conversion drops biases), Dropout as the regulariser;
+- max pooling (binary-spike-preserving in the SNN);
+- activations are trainable-threshold ReLUs (Eq. 1) — or plain ReLU for
+  the max-pre-activation conversion baseline of Fig. 2;
+- convolutions without bias so the converted SNN is purely
+  accumulate-based beyond the direct-encoded first layer.
+
+``width_multiplier`` and ``image_size`` allow CPU-scale replicas of the
+full architectures: pooling stages that would shrink the spatial size
+below 1 are skipped automatically, keeping the layer *sequence*
+faithful while supporting small synthetic images.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..nn import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    ThresholdReLU,
+)
+from ..tensor import Tensor
+
+VGG_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [
+        64, 64, "M",
+        128, 128, "M",
+        256, 256, 256, "M",
+        512, 512, 512, "M",
+        512, 512, 512, "M",
+    ],
+}
+
+
+def _make_activation(kind: str, init_threshold: float) -> Module:
+    if kind == "threshold_relu":
+        return ThresholdReLU(init_threshold=init_threshold)
+    if kind == "relu":
+        return ReLU()
+    raise ValueError(f"unknown activation kind '{kind}'")
+
+
+class VGG(Module):
+    """VGG backbone + two-layer classifier head.
+
+    Parameters
+    ----------
+    config:
+        Architecture name (``"vgg11"``/``"vgg16"``) or an explicit list
+        of channel counts and ``"M"`` pool markers.
+    num_classes:
+        Output classes.
+    in_channels, image_size:
+        Input geometry (defaults: 3-channel 32x32, CIFAR-like).
+    width_multiplier:
+        Scales all channel counts (and the classifier width).
+    activation:
+        ``"threshold_relu"`` (paper's trainable mu) or ``"relu"``.
+    dropout:
+        Dropout probability in feature and classifier stages.
+    rng:
+        Generator for all weight init; required for reproducibility.
+    """
+
+    def __init__(
+        self,
+        config: Union[str, List],
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 32,
+        width_multiplier: float = 1.0,
+        activation: str = "threshold_relu",
+        dropout: float = 0.1,
+        classifier_width: int = 256,
+        init_threshold: float = 4.0,
+        pool: str = "max",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        if pool not in ("max", "avg"):
+            raise ValueError(f"pool must be 'max' or 'avg', got '{pool}'")
+        self.pool_kind = pool
+        if isinstance(config, str):
+            if config not in VGG_CONFIGS:
+                raise ValueError(f"unknown VGG config '{config}'")
+            self.name = config
+            config = VGG_CONFIGS[config]
+        else:
+            self.name = "vgg-custom"
+        self.num_classes = num_classes
+        self.activation_kind = activation
+
+        layers: List[Module] = []
+        channels = in_channels
+        spatial = image_size
+        for item in config:
+            if item == "M":
+                if spatial >= 2 and spatial % 2 == 0:
+                    layers.append(MaxPool2d(2) if pool == "max" else AvgPool2d(2))
+                    spatial //= 2
+                continue
+            out_channels = max(4, int(round(item * width_multiplier)))
+            layers.append(
+                Conv2d(channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+            )
+            layers.append(_make_activation(activation, init_threshold))
+            if dropout > 0:
+                layers.append(Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31))))
+            channels = out_channels
+        self.features = Sequential(*layers)
+
+        flat_features = channels * spatial * spatial
+        hidden = max(16, int(round(classifier_width * width_multiplier)))
+        classifier_layers: List[Module] = [
+            Flatten(),
+            Linear(flat_features, hidden, bias=False, rng=rng),
+            _make_activation(activation, init_threshold),
+        ]
+        if dropout > 0:
+            classifier_layers.append(
+                Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))
+            )
+        classifier_layers.append(Linear(hidden, num_classes, bias=False, rng=rng))
+        self.classifier = Sequential(*classifier_layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+    def threshold_layers(self) -> List[ThresholdReLU]:
+        """All trainable-threshold activations, in forward order."""
+        return [m for m in self.modules() if isinstance(m, ThresholdReLU)]
+
+    def extra_repr(self) -> str:
+        return f"name={self.name}, classes={self.num_classes}"
+
+
+def vgg11(**kwargs) -> VGG:
+    """VGG-11 in the paper's (BN-free, dropout, max-pool) configuration."""
+    return VGG("vgg11", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    """VGG-16 in the paper's (BN-free, dropout, max-pool) configuration."""
+    return VGG("vgg16", **kwargs)

@@ -1,0 +1,35 @@
+"""Neural-network layer library built on :mod:`repro.tensor`."""
+
+from . import init
+from .activations import ActivationRecorder, ReLU, ThresholdReLU
+from .batchnorm import BatchNorm2d, fold_all_batchnorms, fold_batchnorm
+from .containers import Flatten, Identity, Sequential
+from .conv import Conv2d
+from .dropout import Dropout
+from .linear import Linear
+from .losses import CrossEntropyLoss, MSELoss
+from .module import Module, Parameter
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "ActivationRecorder",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CrossEntropyLoss",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Identity",
+    "Linear",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "ThresholdReLU",
+    "fold_all_batchnorms",
+    "fold_batchnorm",
+    "init",
+]

@@ -1,0 +1,107 @@
+"""Batch normalisation (used only by *baseline* networks).
+
+The paper's proposed pipeline avoids BN because the conversion omits
+bias terms (Section IV-A); BN is provided here (a) so baseline
+comparators such as Deng et al.'s source networks can be built
+faithfully, and (b) for the BN-folding utility that absorbs a trained
+BN into the preceding conv/linear weights — the standard preprocessing
+step for conversion pipelines that do start from BN networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .conv import Conv2d
+from .linear import Linear
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation over NCHW inputs."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got ndim={x.ndim}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var.data
+            )
+        else:
+            mean = Tensor(self.running_mean)
+            var = Tensor(self.running_var)
+        shape = (1, self.num_features, 1, 1)
+        x_hat = (x - mean.reshape(shape)) / (var.reshape(shape) + self.eps).sqrt()
+        return x_hat * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+def fold_all_batchnorms(model: "Sequential") -> "Sequential":
+    """Replace every ``Conv2d -> BatchNorm2d`` pair in a Sequential with
+    the folded convolution (eval-mode equivalent, BN-free).
+
+    The returned network is ready for DNN-to-SNN conversion: the folded
+    per-step bias acts as a constant input current, the rate-coding
+    equivalent of the DNN bias.
+    """
+    from .containers import Sequential
+
+    folded_layers = []
+    layers = list(model)
+    index = 0
+    while index < len(layers):
+        layer = layers[index]
+        if (
+            isinstance(layer, Conv2d)
+            and index + 1 < len(layers)
+            and isinstance(layers[index + 1], BatchNorm2d)
+        ):
+            folded_layers.append(fold_batchnorm(layer, layers[index + 1]))
+            index += 2
+        else:
+            folded_layers.append(layer)
+            index += 1
+    return Sequential(*folded_layers)
+
+
+def fold_batchnorm(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    """Absorb a trained BN into the preceding convolution.
+
+    Returns a *new* conv (with bias) such that ``new_conv(x)`` equals
+    ``bn(conv(x))`` in eval mode.  Used to prepare BN-trained baselines
+    for conversion, which requires a BN-free network.
+    """
+    if conv.out_channels != bn.num_features:
+        raise ValueError("conv/bn channel mismatch")
+    scale = bn.gamma.data / np.sqrt(bn.running_var + bn.eps)
+    folded = Conv2d(
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel_size,
+        stride=conv.stride,
+        padding=conv.padding,
+        bias=True,
+        rng=np.random.default_rng(0),
+    )
+    folded.weight.data[...] = conv.weight.data * scale[:, None, None, None]
+    conv_bias = conv.bias.data if conv.bias is not None else 0.0
+    folded.bias.data[...] = (conv_bias - bn.running_mean) * scale + bn.beta.data
+    return folded

@@ -1,0 +1,58 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Supports indexing, iteration and ``append`` so converters can walk
+    and rebuild layer pipelines.
+    """
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_list: List[Module] = []
+        for layer in layers:
+            self.append(layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        index = len(self._layer_list)
+        self._layer_list.append(layer)
+        self.add_module(str(index), layer)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*self._layer_list[index])
+        return self._layer_list[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layer_list)
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Identity(Module):
+    """No-op module (useful as a placeholder in rebuilt pipelines)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

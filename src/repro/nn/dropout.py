@@ -1,0 +1,35 @@
+"""Dropout regulariser.
+
+The paper avoids BatchNorm (it cannot survive the bias-free conversion)
+and regularises both the DNN and the SNN with dropout (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, dropout
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    A dedicated generator keeps dropout masks reproducible and
+    independent of any other randomness in the program.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.rng, training=self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

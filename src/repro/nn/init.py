@@ -1,0 +1,56 @@
+"""Weight-initialisation schemes.
+
+All initialisers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed — required for the
+reproducibility of every experiment harness in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _fan_in_fan_out(shape) -> tuple:
+    """Compute (fan_in, fan_out) for linear or conv weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (out_c, in_c, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_normal(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-normal init: std = gain / sqrt(fan_in) (for ReLU family)."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-uniform init: bound = gain * sqrt(3 / fan_in)."""
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-normal init: std = gain * sqrt(2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform init."""
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,43 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, log_softmax, one_hot
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward(logits, labels)`` where ``logits`` is ``(N, C)`` and
+    ``labels`` a length-N integer array.  Returns the mean loss.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {logits.shape}")
+        n, c = logits.shape
+        targets = one_hot(labels, c)
+        if self.label_smoothing > 0.0:
+            targets = (
+                targets * (1.0 - self.label_smoothing) + self.label_smoothing / c
+            )
+        log_probs = log_softmax(logits, axis=1)
+        return -(log_probs * Tensor(targets)).sum() * (1.0 / n)
+
+
+class MSELoss(Module):
+    """Mean squared error between two tensors."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()

@@ -1,0 +1,45 @@
+"""Pooling layers (non-overlapping windows)."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, avg_pool2d, global_avg_pool2d, max_pool2d
+from .module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling.  The paper deliberately uses max pooling (Section
+    IV-A): on binary spike maps it outputs binary spikes, keeping all
+    hidden layers accumulate-only."""
+
+    def __init__(self, kernel_size: int, stride: int = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = kernel_size if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel_size: int, stride: int = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = kernel_size if stride is None else stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions; output shape ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)

@@ -1,0 +1,17 @@
+"""Optimizers and learning-rate schedulers."""
+
+from .adam import Adam
+from .lr_scheduler import CosineLR, LRScheduler, MultiStepLR, StepLR, paper_milestones
+from .optimizer import Optimizer
+from .sgd import SGD
+
+__all__ = [
+    "Adam",
+    "CosineLR",
+    "LRScheduler",
+    "MultiStepLR",
+    "Optimizer",
+    "SGD",
+    "StepLR",
+    "paper_milestones",
+]

@@ -1,0 +1,86 @@
+"""Learning-rate schedulers.
+
+The paper decays the LR by 0.1 at 60%, 80% and 90% of the epoch budget
+for both DNN and SNN training (Section IV-A);
+:func:`paper_milestones` builds exactly that schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .optimizer import Optimizer
+
+
+def paper_milestones(total_epochs: int) -> List[int]:
+    """Milestones at 60%, 80% and 90% of ``total_epochs`` (paper IV-A)."""
+    if total_epochs <= 0:
+        raise ValueError("total_epochs must be positive")
+    return sorted({
+        max(1, int(round(total_epochs * fraction)))
+        for fraction in (0.6, 0.8, 0.9)
+    })
+
+
+class LRScheduler:
+    """Base: call :meth:`step` once per epoch after the optimizer steps."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        if any(m <= 0 for m in milestones):
+            raise ValueError("milestones must be positive epoch indices")
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class StepLR(LRScheduler):
+    """Multiply LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.epoch // self.step_size))
+
+
+class CosineLR(LRScheduler):
+    """Cosine annealing from base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def get_lr(self) -> float:
+        progress = min(1.0, self.epoch / self.total_epochs)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

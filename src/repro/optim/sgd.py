@@ -1,0 +1,54 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with (optional Nesterov) momentum and L2 weight decay.
+
+    Matches the paper's DNN training recipe when combined with
+    :class:`~repro.optim.lr_scheduler.MultiStepLR` at 60/80/90% of the
+    epoch budget.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError("weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data -= self.lr * update

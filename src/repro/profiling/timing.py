@@ -1,0 +1,63 @@
+"""Wall-clock timing utilities (paper Fig. 3a).
+
+The paper reports training and inference time per epoch for its 2/3-step
+SNNs against the 5-step hybrid baseline.  On this substrate the same
+quantities are measured by timing real epochs; the expected *shape* —
+time growing ~linearly with ``T`` because every step replays the whole
+layer pipeline — is hardware-independent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class TimingResult:
+    """Statistics of repeated timings, in seconds."""
+
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+
+def time_callable(fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> TimingResult:
+    """Time ``fn`` ``repeats`` times after ``warmup`` discarded runs."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return TimingResult(samples=samples)
+
+
+@dataclass
+class EpochTimeComparison:
+    """Per-approach epoch times, for the Fig. 3a style comparison."""
+
+    labels: List[str]
+    train_seconds: List[float]
+    inference_seconds: List[float]
+
+    def speedup_vs(self, baseline_label: str) -> List[float]:
+        """Training-time speedups of every approach vs ``baseline_label``."""
+        if baseline_label not in self.labels:
+            raise KeyError(f"no approach labelled '{baseline_label}'")
+        base = self.train_seconds[self.labels.index(baseline_label)]
+        return [base / t for t in self.train_seconds]

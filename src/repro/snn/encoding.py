@@ -1,0 +1,95 @@
+"""Input encoders: analog images -> per-time-step SNN inputs.
+
+The paper adopts *direct encoding* (Section I): the analog pixel values
+are fed to the first convolution at every time step, so only subsequent
+layers communicate with binary spikes.  Rate (Poisson) and
+time-to-first-spike encoders are provided for comparison experiments —
+they are the classical alternatives the introduction surveys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class Encoder:
+    """Base encoder: produces the input for each of ``timesteps`` steps."""
+
+    def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        if timesteps <= 0:
+            raise ValueError("timesteps must be positive")
+        return self.encode(np.asarray(images, dtype=np.float64), timesteps)
+
+
+class DirectEncoder(Encoder):
+    """Direct encoding: the analog image is presented at every step.
+
+    The first layer therefore performs MACs (weights x analog values);
+    all later layers see binary spikes and use only ACs — the FLOP
+    accounting in :mod:`repro.energy` models exactly this split.
+    """
+
+    def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        return [images] * timesteps
+
+
+class PoissonEncoder(Encoder):
+    """Rate coding: Bernoulli spikes with probability = pixel intensity.
+
+    Pixel values are clipped to [0, 1] (inputs are expected roughly
+    normalised); the expected spike count over T steps is ``T * x``.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> None:
+        if gain <= 0:
+            raise ValueError("gain must be positive")
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.gain = gain
+
+    def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        probs = np.clip(images * self.gain, 0.0, 1.0)
+        return [
+            (self.rng.random(probs.shape) < probs).astype(np.float64)
+            for _ in range(timesteps)
+        ]
+
+
+class PassthroughEncoder(Encoder):
+    """For inputs that are already spike trains (event-camera data).
+
+    Expects batches shaped ``(N, T, ...)``; yields the T frames in
+    order.  ``timesteps`` must match the data's temporal length.
+    """
+
+    def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        if images.ndim < 2:
+            raise ValueError("event input must be at least (N, T, ...)")
+        if images.shape[1] != timesteps:
+            raise ValueError(
+                f"event data has T={images.shape[1]} frames but the network "
+                f"runs {timesteps} steps"
+            )
+        return [images[:, t] for t in range(timesteps)]
+
+
+class TTFSEncoder(Encoder):
+    """Time-to-first-spike coding: one spike per pixel, earlier = brighter.
+
+    Pixel ``x`` in [0, 1] spikes once at step ``floor((1 - x) * T)``
+    (clamped to the last step); zero pixels never spike.
+    """
+
+    def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
+        clipped = np.clip(images, 0.0, 1.0)
+        spike_step = np.floor((1.0 - clipped) * timesteps).astype(np.int64)
+        spike_step = np.minimum(spike_step, timesteps - 1)
+        frames = []
+        for t in range(timesteps):
+            fires = (spike_step == t) & (clipped > 0.0)
+            frames.append(fires.astype(np.float64))
+        return frames

@@ -1,0 +1,242 @@
+"""Temporal execution of converted spiking networks.
+
+The spiking network is a *twin* of the source DNN: every weight layer
+(conv/linear/pool/flatten) is applied once per time step, and every
+DNN activation is replaced by a stateful :class:`SpikingNeuron`.  The
+network presents the (direct-encoded) input for ``timesteps`` steps and
+accumulates the final linear layer's outputs — the output layer does
+not spike, following standard practice for low-latency SNNs (the class
+decision is the accumulated logit).
+
+Structure classes:
+
+- :class:`StepWrapper` — applies a stateless DNN module each step;
+- :class:`TemporalDropout` — dropout with a mask held fixed across the
+  time steps of one forward pass (as in DIET-SNN's SNN-domain training);
+- :class:`SpikingSequential` — ordered chain of spiking modules;
+- :class:`SpikingResidualBlock` — spiking twin of a ResNet basic block
+  (branch and shortcut currents sum before the output neuron);
+- :class:`SpikingNetwork` — encoder + body + temporal loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor
+from .encoding import DirectEncoder, Encoder
+from .neurons import SpikingNeuron
+
+
+class SpikingModule(Module):
+    """Base class: one ``forward`` call advances one time step."""
+
+    def reset_state(self) -> None:
+        """Clear temporal state (membranes, dropout masks) recursively."""
+        for child in self.children():
+            if isinstance(child, (SpikingModule, SpikingNeuron)):
+                child.reset_state()
+
+
+class StepWrapper(SpikingModule):
+    """Applies a stateless DNN module (conv / linear / pool / flatten)
+    at every time step, sharing its weights across steps."""
+
+    def __init__(self, inner: Module) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.inner(x)
+
+    def extra_repr(self) -> str:
+        return type(self.inner).__name__
+
+
+class TemporalDropout(SpikingModule):
+    """Dropout whose mask is sampled once per input and shared by all
+    time steps, so the set of silenced units is consistent through the
+    temporal unroll."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def reset_state(self) -> None:
+        self._mask = None
+        super().reset_state()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        if self._mask is None or self._mask.shape != x.data.shape:
+            keep = (self.rng.random(x.data.shape) >= self.p).astype(x.data.dtype)
+            self._mask = keep / (1.0 - self.p)
+        mask = self._mask
+
+        def bwd(g):
+            return (g * mask,)
+
+        return Tensor.from_op(x.data * mask, (x,), bwd, "temporal_dropout")
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class SpikingSequential(SpikingModule):
+    """Ordered chain of spiking modules (one time step per call)."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_list: List[Module] = []
+        for layer in layers:
+            self.append(layer)
+
+    def append(self, layer: Module) -> "SpikingSequential":
+        index = len(self._layer_list)
+        self._layer_list.append(layer)
+        self.add_module(str(index), layer)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layer_list:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layer_list)
+
+    def __getitem__(self, index) -> Module:
+        return self._layer_list[index]
+
+    def __len__(self) -> int:
+        return len(self._layer_list)
+
+
+class SpikingResidualBlock(SpikingModule):
+    """Spiking twin of :class:`repro.models.resnet.BasicBlock`.
+
+    The main-branch current (conv2 of the spikes of neuron1) and the
+    shortcut current sum at the membrane of the output neuron, the
+    standard treatment of skip connections in converted spiking ResNets.
+    """
+
+    def __init__(
+        self,
+        conv1: Module,
+        neuron1: SpikingNeuron,
+        conv2: Module,
+        shortcut: Module,
+        neuron2: SpikingNeuron,
+    ) -> None:
+        super().__init__()
+        self.conv1 = conv1
+        self.neuron1 = neuron1
+        self.conv2 = conv2
+        self.shortcut = shortcut
+        self.neuron2 = neuron2
+
+    def forward(self, x: Tensor) -> Tensor:
+        branch = self.conv2(self.neuron1(self.conv1(x)))
+        return self.neuron2(branch + self.shortcut(x))
+
+
+class SpikingNetwork(SpikingModule):
+    """A converted SNN: encoder, spiking body, and the temporal loop.
+
+    Parameters
+    ----------
+    body:
+        Spiking pipeline mapping one input frame to one output-logit
+        contribution (its last stage is the non-spiking output layer).
+    timesteps:
+        Number of time steps ``T`` (the paper's ultra-low-latency regime
+        is T in {2, 3}).
+    encoder:
+        Input encoder; defaults to direct encoding.
+
+    ``forward`` accepts a numpy batch or Tensor and returns the
+    time-averaged logits; differentiable end-to-end through the unroll
+    (BPTT) for SGL fine-tuning.
+    """
+
+    OUTPUT_MODES = ("mean", "max", "last")
+
+    def __init__(
+        self,
+        body: SpikingModule,
+        timesteps: int,
+        encoder: Optional[Encoder] = None,
+        output_mode: str = "mean",
+    ) -> None:
+        super().__init__()
+        if timesteps <= 0:
+            raise ValueError("timesteps must be positive")
+        if output_mode not in self.OUTPUT_MODES:
+            raise ValueError(
+                f"output_mode must be one of {self.OUTPUT_MODES}, got "
+                f"'{output_mode}'"
+            )
+        self.body = body
+        self.timesteps = timesteps
+        self.encoder = encoder if encoder is not None else DirectEncoder()
+        # Output decoding: "mean" accumulates the output layer over all
+        # steps (the paper's choice); "max" takes the elementwise max
+        # over steps; "last" reads only the final step.
+        self.output_mode = output_mode
+
+    def forward(self, images) -> Tensor:
+        self.reset_state()
+        if (
+            isinstance(images, Tensor)
+            and images.requires_grad
+            and isinstance(self.encoder, DirectEncoder)
+        ):
+            # Keep the input in the autograd graph (direct encoding
+            # presents the same tensor every step), so gradients w.r.t.
+            # the input are available — used by FGSM robustness probes.
+            frames = [images] * self.timesteps
+        else:
+            data = images.data if isinstance(images, Tensor) else np.asarray(images)
+            frames = [Tensor(f) for f in self.encoder(data, self.timesteps)]
+        from ..tensor import maximum
+
+        total: Optional[Tensor] = None
+        for frame in frames:
+            out = self.body(frame)
+            if self.output_mode == "mean":
+                total = out if total is None else total + out
+            elif self.output_mode == "max":
+                total = out if total is None else maximum(total, out)
+            else:  # "last"
+                total = out
+        if self.output_mode == "mean":
+            return total * (1.0 / self.timesteps)
+        return total
+
+    # ------------------------------------------------------------------
+    # Spiking statistics
+    # ------------------------------------------------------------------
+    def spiking_neurons(self) -> List[SpikingNeuron]:
+        return [m for m in self.modules() if isinstance(m, SpikingNeuron)]
+
+    def set_recording(self, enabled: bool) -> None:
+        for neuron in self.spiking_neurons():
+            neuron.recording = enabled
+
+    def reset_spike_stats(self) -> None:
+        for neuron in self.spiking_neurons():
+            neuron.reset_spike_stats()
+
+    def total_spikes(self) -> float:
+        return sum(neuron.spike_count for neuron in self.spiking_neurons())
+
+    def extra_repr(self) -> str:
+        return f"timesteps={self.timesteps}, encoder={type(self.encoder).__name__}"

@@ -1,0 +1,207 @@
+"""Spiking neuron models: IF and LIF with scaled spike amplitude.
+
+Dynamics follow Eqs. (2)-(4) of the paper with the Eq. (8) output
+scaling that the proposed conversion introduces:
+
+    U_tmp(t) = lambda * U(t-1) + I(t)          # leaky integration
+    S(t)     = beta * V^th   if U_tmp(t) > V^th else 0
+    U(t)     = U_tmp(t) - V^th * 1{spike}      # soft reset by threshold
+
+Notes
+-----
+- The *reset* subtracts the threshold ``V^th`` (not the scaled output
+  ``beta V^th``): ``beta`` only rescales what downstream layers see and
+  can be absorbed into their weights (Section III-B), so it must not
+  alter the neuron's internal charge bookkeeping.
+- ``V^th`` and ``lambda`` are trainable parameters (jointly fine-tuned
+  with the weights during SGL, following DIET-SNN); the surrogate
+  gradient routes credit through the Heaviside.
+- With ``lambda = 1`` the model is the Integrate-and-Fire neuron used
+  for conversion; SGL may then learn per-layer leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn.module import Module, Parameter
+from ..tensor import Tensor
+from .surrogate import SurrogateFn, get_surrogate
+
+
+def spike_function(
+    u_temp: Tensor,
+    v_threshold: Tensor,
+    beta: float,
+    surrogate: SurrogateFn,
+) -> Tensor:
+    """Differentiable (via surrogate) spike emission.
+
+    Forward: ``beta * v_th * 1{u > v_th}``.
+
+    Backward:
+    - w.r.t. ``u``: the surrogate window ``g(u, v_th)`` (the paper uses
+      a boxcar equal to 1 on ``[0, 2 v_th]``);
+    - w.r.t. ``v_th``: ``beta * 1{spike}`` from the amplitude term minus
+      the surrogate window from the firing condition — raising the
+      threshold raises each emitted spike's amplitude but suppresses
+      marginal spikes.
+    """
+    v_th = float(v_threshold.data.reshape(-1)[0])
+    if v_th <= 0:
+        raise ValueError(f"spiking threshold must be positive, got {v_th}")
+    fired = u_temp.data > v_th
+    out = np.where(fired, beta * v_th, 0.0)
+    window = surrogate(u_temp.data, v_th)
+
+    def bwd(g):
+        gu = g * window
+        gv = (g * (beta * fired.astype(g.dtype) - window)).sum()
+        return (gu, np.full(v_threshold.data.shape, gv))
+
+    return Tensor.from_op(out, (u_temp, v_threshold), bwd, "spike")
+
+
+class SpikingNeuron(Module):
+    """A layer of IF/LIF neurons sharing one threshold and leak.
+
+    Parameters
+    ----------
+    v_threshold:
+        Initial firing threshold ``V^th`` (after conversion this is
+        ``alpha * mu`` for the layer).
+    beta:
+        Spike-amplitude scale from Eq. (8).  ``1.0`` recovers the plain
+        IF neuron; the converter sets the per-layer optimum and can
+        absorb it into downstream weights.
+    leak:
+        Membrane leak ``lambda``; ``1.0`` gives IF dynamics.
+    trainable:
+        Whether threshold and leak receive gradients during SGL.
+    surrogate:
+        Name of the surrogate gradient (default: the paper's boxcar).
+
+    State
+    -----
+    ``membrane`` holds ``U(t)`` between calls; :meth:`reset_state`
+    clears it (done automatically by the network at every new input).
+    """
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        beta: float = 1.0,
+        leak: float = 1.0,
+        trainable: bool = True,
+        surrogate: str = "boxcar",
+        initial_potential: float = 0.0,
+        reset_mode: str = "soft",
+    ) -> None:
+        super().__init__()
+        if v_threshold <= 0:
+            raise ValueError("v_threshold must be positive")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        if not 0.0 <= leak <= 1.0:
+            raise ValueError("leak must lie in [0, 1]")
+        if reset_mode not in ("soft", "hard"):
+            raise ValueError("reset_mode must be 'soft' or 'hard'")
+        self.v_threshold = Parameter(np.array([float(v_threshold)]))
+        self.leak = Parameter(np.array([float(leak)]))
+        if not trainable:
+            self.v_threshold.requires_grad = False
+            self.leak.requires_grad = False
+        self.beta = float(beta)
+        # Non-zero initial membrane potential implements the bias shift
+        # delta = V^th / 2T of Deng et al. [15] (a charge of V^th/2 at
+        # t=0 shifts the average-rate staircase left by V^th/2T).
+        self.initial_potential = float(initial_potential)
+        # "soft" (reset-by-subtraction, Eq. 4) conserves residual charge
+        # and is required for the rate-staircase equivalence the
+        # conversion relies on; "hard" (reset-to-zero) discards it —
+        # provided for comparison with the classic conversion
+        # literature, where it is a known accuracy loss.
+        self.reset_mode = reset_mode
+        self.surrogate_name = surrogate
+        self.surrogate = get_surrogate(surrogate)
+        self.membrane: Optional[Tensor] = None
+        # Spike statistics (populated when ``recording`` is on).
+        self.recording = False
+        self.spike_count = 0.0
+        self.neuron_count = 0
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        return float(self.v_threshold.data[0])
+
+    @property
+    def leak_value(self) -> float:
+        return float(self.leak.data[0])
+
+    def reset_state(self) -> None:
+        self.membrane = None
+
+    def reset_spike_stats(self) -> None:
+        self.spike_count = 0.0
+        self.neuron_count = 0
+        self.step_count = 0
+
+    def forward(self, current: Tensor) -> Tensor:
+        """Advance one time step with input current ``I(t)``."""
+        if self.membrane is None:
+            membrane = Tensor(
+                np.full_like(current.data, self.initial_potential)
+            )
+        else:
+            membrane = self.membrane
+        u_temp = membrane * self.leak + current
+        spikes = spike_function(u_temp, self.v_threshold, self.beta, self.surrogate)
+        fired_mask = (spikes.data != 0.0).astype(current.data.dtype)
+        if self.reset_mode == "soft":
+            self.membrane = u_temp - self.v_threshold * Tensor(fired_mask)
+        else:  # hard reset: zero the fired units, graph detached there
+            from ..tensor import where
+
+            self.membrane = where(
+                fired_mask != 0.0, Tensor(np.zeros_like(u_temp.data)), u_temp
+            )
+        if self.recording:
+            self.spike_count += float(fired_mask.sum())
+            self.neuron_count = int(np.prod(current.data.shape[1:]))
+            self.step_count += 1
+        return spikes
+
+    def extra_repr(self) -> str:
+        return (
+            f"v_th={self.threshold:.4f}, beta={self.beta:.4f}, "
+            f"leak={self.leak_value:.4f}, surrogate={self.surrogate_name}"
+        )
+
+
+class IFNeuron(SpikingNeuron):
+    """Integrate-and-Fire neuron (``leak = 1``), the conversion target."""
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        beta: float = 1.0,
+        trainable: bool = True,
+        surrogate: str = "boxcar",
+        initial_potential: float = 0.0,
+    ) -> None:
+        super().__init__(
+            v_threshold=v_threshold,
+            beta=beta,
+            leak=1.0,
+            trainable=trainable,
+            surrogate=surrogate,
+            initial_potential=initial_potential,
+        )
+
+
+class LIFNeuron(SpikingNeuron):
+    """Leaky Integrate-and-Fire neuron with trainable leak."""

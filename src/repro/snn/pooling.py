@@ -1,0 +1,77 @@
+"""Spiking max pooling with rate-based gating (Rueckauer et al. 2017).
+
+Naive per-step max pooling over binary spike trains badly overestimates
+the pooled firing rate: for a 2x2 window of independent spike trains of
+rate ``r`` the per-step max fires at ``1 - (1 - r)^4 ~ 4r``, not ``r``.
+The converted network then sees up to 4x inflated activations after
+every pooling stage and the conversion error never vanishes, however
+large T is.
+
+The standard fix — used by SNN-Toolbox and the conversion literature
+this paper builds on — is a *gating* pool: each window tracks the
+accumulated spike count of its inputs and, at every step, transmits
+only the spikes of the input with the highest running rate.  The output
+stays binary (the paper's requirement for AC-only hidden layers) and
+its average converges to the maximum of the input averages, matching
+the DNN's max pooling.
+
+Gradient: routed one-hot to the selected window element, like ordinary
+max pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from .network import SpikingModule
+
+
+class SpikingMaxPool(SpikingModule):
+    """Rate-gated max pooling over non-overlapping windows."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self._counts: Optional[np.ndarray] = None
+
+    def reset_state(self) -> None:
+        self._counts = None
+        super().reset_state()
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.data.shape
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(f"spatial size {h}x{w} not divisible by pool {k}")
+        out_h, out_w = h // k, w // k
+        # (N, C, out_h, out_w, k*k) window view of the current frame.
+        frames = (
+            x.data.reshape(n, c, out_h, k, out_w, k)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, out_h, out_w, k * k)
+        )
+        if self._counts is None or self._counts.shape != frames.shape:
+            self._counts = np.zeros_like(frames)
+        self._counts += frames
+        winners = self._counts.argmax(axis=-1)
+        gate = np.eye(k * k, dtype=x.data.dtype)[winners]
+        out = (frames * gate).sum(axis=-1)
+
+        def bwd(g):
+            g_win = g[..., None] * gate
+            gx = (
+                g_win.reshape(n, c, out_h, out_w, k, k)
+                .transpose(0, 1, 2, 4, 3, 5)
+                .reshape(n, c, h, w)
+            )
+            return (gx,)
+
+        return Tensor.from_op(out, (x,), bwd, "spiking_max_pool")
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}"

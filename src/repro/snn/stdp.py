@@ -1,0 +1,137 @@
+"""Spike-timing-dependent plasticity (pair-based STDP).
+
+The conversion pipeline is the paper's focus, but an SNN library needs
+the native local learning rule too (the hybrid-conversion line of work
+the paper cites [13] combines conversion with spike-timing learning).
+This module implements the standard pair-based trace formulation for
+``Linear`` synapses:
+
+    x_pre(t)  = decay_pre  * x_pre(t-1)  + S_pre(t)     (pre trace)
+    x_post(t) = decay_post * x_post(t-1) + S_post(t)    (post trace)
+
+    dW = lr_plus  * S_post(t) x_pre(t)^T     (potentiation: pre before post)
+       - lr_minus * x_post(t) S_pre(t)^T     (depression:  post before pre)
+
+Weights are clipped to ``[w_min, w_max]`` after every step (hard
+bounds).  :class:`STDPLearner` wraps one spiking projection (a weight
+layer followed by a neuron layer) and updates it online, without any
+gradient machinery — purely local, as on neuromorphic hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Linear
+from ..snn.neurons import SpikingNeuron
+
+
+@dataclass
+class STDPConfig:
+    """Pair-based STDP hyperparameters."""
+
+    lr_plus: float = 1e-3
+    lr_minus: float = 1.2e-3
+    decay_pre: float = 0.7
+    decay_post: float = 0.7
+    w_min: float = -1.0
+    w_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lr_plus < 0 or self.lr_minus < 0:
+            raise ValueError("learning rates must be non-negative")
+        if not (0.0 <= self.decay_pre <= 1.0 and 0.0 <= self.decay_post <= 1.0):
+            raise ValueError("trace decays must lie in [0, 1]")
+        if self.w_min >= self.w_max:
+            raise ValueError("w_min must be below w_max")
+
+
+class STDPLearner:
+    """Online STDP for one ``Linear`` projection.
+
+    Call :meth:`step` once per time step with the binary (or
+    amplitude-coded) pre- and post-synaptic spike tensors, shaped
+    ``(batch, in_features)`` and ``(batch, out_features)``.  Updates are
+    averaged over the batch.  :meth:`reset` clears the traces between
+    inputs.
+    """
+
+    def __init__(self, layer: Linear, config: Optional[STDPConfig] = None) -> None:
+        if not isinstance(layer, Linear):
+            raise TypeError("STDPLearner supports Linear layers")
+        self.layer = layer
+        self.config = config or STDPConfig()
+        self._trace_pre: Optional[np.ndarray] = None
+        self._trace_post: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        self._trace_pre = None
+        self._trace_post = None
+
+    def step(self, pre_spikes: np.ndarray, post_spikes: np.ndarray) -> None:
+        """One STDP update from simultaneous pre/post activity."""
+        cfg = self.config
+        pre = np.asarray(pre_spikes, dtype=np.float64)
+        post = np.asarray(post_spikes, dtype=np.float64)
+        if pre.ndim != 2 or post.ndim != 2:
+            raise ValueError("spike tensors must be (batch, features)")
+        if pre.shape[1] != self.layer.in_features:
+            raise ValueError(
+                f"pre spikes have {pre.shape[1]} features; layer expects "
+                f"{self.layer.in_features}"
+            )
+        if post.shape[1] != self.layer.out_features:
+            raise ValueError(
+                f"post spikes have {post.shape[1]} features; layer expects "
+                f"{self.layer.out_features}"
+            )
+        if pre.shape[0] != post.shape[0]:
+            raise ValueError("batch size mismatch between pre and post")
+
+        if self._trace_pre is None:
+            self._trace_pre = np.zeros_like(pre)
+            self._trace_post = np.zeros_like(post)
+        self._trace_pre = cfg.decay_pre * self._trace_pre + pre
+        self._trace_post = cfg.decay_post * self._trace_post + post
+
+        batch = pre.shape[0]
+        potentiation = post.T @ self._trace_pre / batch
+        depression = self._trace_post.T @ pre / batch
+        delta = cfg.lr_plus * potentiation - cfg.lr_minus * depression
+        self.layer.weight.data += delta
+        np.clip(
+            self.layer.weight.data, cfg.w_min, cfg.w_max,
+            out=self.layer.weight.data,
+        )
+
+
+def run_stdp_session(
+    learner: STDPLearner,
+    neuron: SpikingNeuron,
+    spike_frames: np.ndarray,
+) -> np.ndarray:
+    """Drive one projection with a spike train and learn online.
+
+    ``spike_frames`` is ``(T, batch, in_features)``; returns the post-
+    synaptic spike raster ``(T, batch, out_features)``.  The neuron and
+    traces are reset first.
+    """
+    from ..tensor import Tensor, no_grad
+
+    frames = np.asarray(spike_frames, dtype=np.float64)
+    if frames.ndim != 3:
+        raise ValueError("spike_frames must be (T, batch, in_features)")
+    learner.reset()
+    neuron.reset_state()
+    raster = []
+    with no_grad():
+        for frame in frames:
+            current = learner.layer(Tensor(frame))
+            post = neuron(current).data
+            post_binary = (post != 0.0).astype(np.float64)
+            learner.step(frame, post_binary)
+            raster.append(post_binary)
+    return np.stack(raster, axis=0)

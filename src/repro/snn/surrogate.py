@@ -1,0 +1,66 @@
+"""Surrogate gradients for the discontinuous spike function.
+
+During SGL fine-tuning the Heaviside spike nonlinearity is given a
+smooth pseudo-derivative.  The paper's choice (Section III-B) is a
+boxcar window:
+
+    d s' / d s  ~=  1   if 0 <= u <= 2 * V^th
+                    0   otherwise
+
+i.e. a pass-through of width ``2 V^th`` centred on the threshold (with
+``V^th = alpha * mu`` after conversion).  Alternative published
+surrogates are provided for ablations.
+
+Every surrogate is a function ``g(u, v_th) -> ndarray`` evaluated on the
+pre-reset membrane potential ``u``; the returned array multiplies the
+upstream gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+SurrogateFn = Callable[[np.ndarray, float], np.ndarray]
+
+
+def boxcar(u: np.ndarray, v_th: float) -> np.ndarray:
+    """The paper's window: 1 on ``[0, 2 v_th]``, else 0."""
+    return ((u >= 0.0) & (u <= 2.0 * v_th)).astype(u.dtype)
+
+
+def triangle(u: np.ndarray, v_th: float) -> np.ndarray:
+    """Piecewise-linear hat centred at the threshold (Esser et al.)."""
+    return np.maximum(0.0, 1.0 - np.abs(u - v_th) / max(v_th, 1e-12))
+
+
+def fast_sigmoid(u: np.ndarray, v_th: float, slope: float = 5.0) -> np.ndarray:
+    """Derivative of the fast sigmoid (Zenke & Ganguli 2018)."""
+    scaled = slope * (u - v_th) / max(v_th, 1e-12)
+    return 1.0 / (1.0 + np.abs(scaled)) ** 2
+
+
+def arctan_surrogate(u: np.ndarray, v_th: float, alpha: float = 2.0) -> np.ndarray:
+    """Derivative of a scaled arctan (Fang et al. 2021)."""
+    scaled = np.pi * alpha * (u - v_th) / max(v_th, 1e-12)
+    return alpha / (1.0 + scaled * scaled)
+
+
+_SURROGATES: Dict[str, SurrogateFn] = {
+    "boxcar": boxcar,
+    "triangle": triangle,
+    "fast_sigmoid": fast_sigmoid,
+    "arctan": arctan_surrogate,
+}
+
+
+def get_surrogate(name: str) -> SurrogateFn:
+    """Look up a surrogate gradient by name."""
+    if name not in _SURROGATES:
+        raise KeyError(f"unknown surrogate '{name}'; available: {sorted(_SURROGATES)}")
+    return _SURROGATES[name]
+
+
+def available_surrogates() -> list:
+    return sorted(_SURROGATES)

@@ -1,0 +1,198 @@
+"""Differentiable 2-D convolution and pooling primitives.
+
+Convolution uses the im2col strategy: windows of the (padded) input are
+gathered with numpy stride tricks into a matrix, so the convolution
+becomes a single GEMM — the standard CPU implementation.  The backward
+pass scatters column gradients back with a small KH*KW loop (col2im).
+
+Pooling is restricted to non-overlapping windows (``stride == kernel``),
+which covers the VGG (2x2/2 max pool) and ResNet-20 (8x8 global average)
+architectures used in the paper, and keeps both passes fully vectorised.
+All layouts are NCHW.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor
+
+
+def conv2d_output_shape(
+    height: int, width: int, kernel: int, stride: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output size of a conv/pool with square kernel."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} / stride {stride} / padding {padding} "
+            f"produce empty output for input {height}x{width}"
+        )
+    return out_h, out_w
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> Tuple[np.ndarray, int, int]:
+    """Gather conv windows of a padded NCHW array.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, out_h, out_w, C, kernel, kernel)`` (a strided view, no copy).
+    """
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # (N, C, out_h, out_w, KH, KW) -> (N, out_h, out_w, C, KH, KW)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    dcols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add column grads to an image.
+
+    ``dcols`` has shape ``(N, out_h, out_w, C, KH, KW)``; the result has
+    ``input_shape`` (the *padded* input shape).
+    """
+    n, c, h, w = input_shape
+    _, out_h, out_w, _, _, _ = dcols.shape
+    dx = np.zeros(input_shape, dtype=dcols.dtype)
+    # (N, C, KH, KW, out_h, out_w) so each (i, j) offset is a strided slice.
+    d = dcols.transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kernel):
+        row_end = i + stride * out_h
+        for j in range(kernel):
+            col_end = j + stride * out_w
+            dx[:, :, i:row_end:stride, j:col_end:stride] += d[:, :, i, j, :, :]
+    return dx
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation (the deep-learning "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, K, K)``.
+    bias:
+        Optional per-filter bias of shape ``(C_out,)``.
+    """
+    n, c_in, h, w = x.data.shape
+    c_out, c_in_w, kh, kw = weight.data.shape
+    if c_in != c_in_w:
+        raise ValueError(
+            f"input has {c_in} channels but weight expects {c_in_w}"
+        )
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    cols, out_h, out_w = _im2col(x_padded, kernel, stride)
+    cols_mat = cols.reshape(n * out_h * out_w, c_in * kernel * kernel)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = cols_mat @ w_mat.T
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    padded_shape = x_padded.shape
+    # Materialise the columns for the weight-grad GEMM lazily in bwd; the
+    # strided view is kept alive via the closure.
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def bwd(g):
+        # g: (N, C_out, out_h, out_w) -> (N*out_h*out_w, C_out)
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        dw = (g_mat.T @ cols_mat).reshape(weight.data.shape)
+        dcols_mat = g_mat @ w_mat
+        dcols = dcols_mat.reshape(n, out_h, out_w, c_in, kernel, kernel)
+        dx_padded = _col2im(dcols, padded_shape, kernel, stride)
+        if padding:
+            dx = dx_padded[:, :, padding:-padding, padding:-padding]
+        else:
+            dx = dx_padded
+        if bias is None:
+            return (dx, dw)
+        db = g_mat.sum(axis=0)
+        return (dx, dw, db)
+
+    return Tensor.from_op(out, parents, bwd, "conv2d")
+
+
+def _check_pool_args(x: Tensor, kernel: int, stride: int) -> None:
+    if stride != kernel:
+        raise NotImplementedError(
+            "pooling supports non-overlapping windows only (stride == kernel)"
+        )
+    n, c, h, w = x.data.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"spatial size {h}x{w} not divisible by pool kernel {kernel}"
+        )
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int = None) -> Tensor:
+    """Non-overlapping max pooling over ``kernel x kernel`` windows."""
+    stride = kernel if stride is None else stride
+    _check_pool_args(x, kernel, stride)
+    n, c, h, w = x.data.shape
+    out_h, out_w = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out = windows.max(axis=(3, 5))
+    mask = windows == out[:, :, :, None, :, None]
+    # Break ties: keep only the first max per window so the gradient is
+    # routed to exactly one element (matches framework conventions).
+    flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, out_h, out_w, -1)
+    first = flat.cumsum(axis=-1) == 1
+    routed = (flat & first).reshape(n, c, out_h, out_w, kernel, kernel)
+    routed = routed.transpose(0, 1, 2, 4, 3, 5)
+
+    def bwd(g):
+        g_win = g[:, :, :, None, :, None] * routed
+        return (g_win.reshape(n, c, h, w),)
+
+    return Tensor.from_op(out, (x,), bwd, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int = None) -> Tensor:
+    """Non-overlapping average pooling over ``kernel x kernel`` windows."""
+    stride = kernel if stride is None else stride
+    _check_pool_args(x, kernel, stride)
+    n, c, h, w = x.data.shape
+    out_h, out_w = h // kernel, w // kernel
+    windows = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out = windows.mean(axis=(3, 5))
+    inv_area = 1.0 / (kernel * kernel)
+
+    def bwd(g):
+        g_win = np.broadcast_to(
+            g[:, :, :, None, :, None] * inv_area,
+            (n, c, out_h, kernel, out_w, kernel),
+        )
+        return (g_win.reshape(n, c, h, w).copy(),)
+
+    return Tensor.from_op(out, (x,), bwd, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning ``(N, C)``."""
+    return x.mean(axis=(2, 3))

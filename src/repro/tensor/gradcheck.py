@@ -1,0 +1,64 @@
+"""Finite-difference gradient checking for autograd ops.
+
+Used throughout the test suite to validate every differentiable op (and
+composite layers) against central differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).sum().item())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).sum().item())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match numeric ones.
+
+    Raises ``AssertionError`` with a per-input report on mismatch.
+    Inputs that do not require grad are skipped.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn(*inputs).sum()
+    out.backward()
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        expected = numeric_gradient(fn, inputs, i, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            max_err = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch for input {i}: max abs error {max_err:.3e}\n"
+                f"analytic:\n{actual}\nnumeric:\n{expected}"
+            )

@@ -1,0 +1,25 @@
+"""Training loops: DNN training and SNN surrogate-gradient fine-tuning."""
+
+from .attacks import fgsm_accuracy, fgsm_attack
+from .history import TrainingHistory
+from .regularizers import SpikeRateRegularizer
+from .metrics import accuracy, evaluate_dnn, evaluate_snn, top_k_accuracy
+from .snn_trainer import SNNTrainConfig, SNNTrainer, clamp_neuron_parameters
+from .trainer import DNNTrainConfig, DNNTrainer, clamp_thresholds
+
+__all__ = [
+    "DNNTrainConfig",
+    "DNNTrainer",
+    "SNNTrainConfig",
+    "SNNTrainer",
+    "SpikeRateRegularizer",
+    "TrainingHistory",
+    "fgsm_accuracy",
+    "fgsm_attack",
+    "accuracy",
+    "clamp_neuron_parameters",
+    "clamp_thresholds",
+    "evaluate_dnn",
+    "evaluate_snn",
+    "top_k_accuracy",
+]

@@ -1,0 +1,96 @@
+"""Gradient-based input attacks (FGSM) for robustness evaluation.
+
+HIRE-SNN (Kundu et al., cited by the paper) argues low-latency SNNs
+degrade more gracefully under input perturbations than DNNs.  The fast
+gradient-sign method gives the standard first-order probe:
+
+    x_adv = x + eps * sign( d loss / d x )
+
+For the SNN the input gradient flows through the temporal unroll and
+the surrogate spike derivative — the same path SGL trains through.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..nn import CrossEntropyLoss, Module
+from ..snn import SpikingNetwork
+from ..tensor import Tensor
+
+
+def fgsm_attack(
+    model: Union[Module, SpikingNetwork],
+    images: np.ndarray,
+    labels: np.ndarray,
+    epsilon: float,
+) -> np.ndarray:
+    """Fast gradient-sign perturbation of ``images``.
+
+    Parameters
+    ----------
+    model:
+        A DNN (consumes Tensors) or a converted :class:`SpikingNetwork`
+        (consumes arrays; differentiated through its unroll).
+    images, labels:
+        The clean batch.
+    epsilon:
+        L-inf perturbation budget (in normalised-input units).
+
+    Returns the perturbed batch (same shape as ``images``).
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    images = np.asarray(images, dtype=np.float64)
+    if epsilon == 0:
+        return images.copy()
+
+    criterion = CrossEntropyLoss()
+    was_training = model.training
+    model.eval()
+    try:
+        x = Tensor(images, requires_grad=True)
+        logits = model(x)
+        loss = criterion(logits, labels)
+        loss.backward()
+    finally:
+        model.train(was_training)
+    if x.grad is None:
+        raise RuntimeError(
+            "input received no gradient; the model graph may be detached"
+        )
+    return images + epsilon * np.sign(x.grad)
+
+
+def fgsm_accuracy(
+    model: Union[Module, SpikingNetwork],
+    batches,
+    epsilon: float,
+    max_batches: int = None,
+) -> float:
+    """Accuracy under FGSM at budget ``epsilon`` over an iterable of
+    ``(images, labels)`` batches."""
+    from ..tensor import no_grad
+
+    correct = total = 0
+    for index, (images, labels) in enumerate(batches):
+        if max_batches is not None and index >= max_batches:
+            break
+        adversarial = fgsm_attack(model, images, labels, epsilon)
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                if isinstance(model, SpikingNetwork):
+                    logits = model(adversarial)
+                else:
+                    logits = model(Tensor(adversarial))
+        finally:
+            model.train(was_training)
+        correct += int((logits.data.argmax(axis=1) == labels).sum())
+        total += len(labels)
+    if total == 0:
+        raise ValueError("no batches provided")
+    return correct / total

@@ -1,0 +1,58 @@
+"""Training history record shared by the DNN and SNN trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves.
+
+    ``epoch_seconds`` feeds the Fig. 3 simulation-time comparison;
+    ``peak_activation_memory`` (when the trainer's memory model is
+    enabled) feeds the Fig. 3 memory comparison.
+    """
+
+    epochs: List[int] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    peak_activation_memory: Optional[float] = None
+
+    def record(
+        self,
+        epoch: int,
+        train_loss: float,
+        train_accuracy: float,
+        test_accuracy: float,
+        learning_rate: float,
+        epoch_seconds: float,
+    ) -> None:
+        self.epochs.append(epoch)
+        self.train_loss.append(train_loss)
+        self.train_accuracy.append(train_accuracy)
+        self.test_accuracy.append(test_accuracy)
+        self.learning_rate.append(learning_rate)
+        self.epoch_seconds.append(epoch_seconds)
+
+    @property
+    def best_test_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise ValueError("history is empty")
+        return max(self.test_accuracy)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        if not self.test_accuracy:
+            raise ValueError("history is empty")
+        return self.test_accuracy[-1]
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        if not self.epoch_seconds:
+            raise ValueError("history is empty")
+        return sum(self.epoch_seconds) / len(self.epoch_seconds)

@@ -1,0 +1,69 @@
+"""Evaluation metrics and helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn import Module
+from ..snn import SpikingNetwork
+from ..tensor import Tensor, no_grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of a logits batch."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("batch size mismatch between logits and labels")
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy of a logits batch."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+@no_grad()
+def evaluate_dnn(
+    model: Module, batches: Iterable[Tuple[np.ndarray, np.ndarray]]
+) -> float:
+    """Top-1 test accuracy of a DNN over an iterable of batches."""
+    was_training = model.training
+    model.eval()
+    correct = total = 0
+    try:
+        for images, labels in batches:
+            logits = model(Tensor(np.asarray(images)))
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total += len(labels)
+    finally:
+        model.train(was_training)
+    if total == 0:
+        raise ValueError("evaluation received no batches")
+    return correct / total
+
+
+@no_grad()
+def evaluate_snn(
+    snn: SpikingNetwork, batches: Iterable[Tuple[np.ndarray, np.ndarray]]
+) -> float:
+    """Top-1 test accuracy of an SNN (time-averaged logits)."""
+    was_training = snn.training
+    snn.eval()
+    correct = total = 0
+    try:
+        for images, labels in batches:
+            logits = snn(np.asarray(images))
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+            total += len(labels)
+    finally:
+        snn.train(was_training)
+    if total == 0:
+        raise ValueError("evaluation received no batches")
+    return correct / total

@@ -1,0 +1,87 @@
+"""Spike-activity regularisation for SGL fine-tuning.
+
+The paper's energy model (Section VI) prices every hidden-layer spike
+as one accumulate, so the spike count *is* the energy knob.  Related
+work the paper compares against (Spike-Thrift / attention-guided
+compression, Kundu et al.) explicitly penalises spiking activity during
+training.  :class:`SpikeRateRegularizer` implements the simple version:
+an L1 penalty on the expected spike rate of every hidden layer, added
+to the task loss during SGL, trading accuracy against energy.
+
+The penalty is differentiable through the same surrogate gradient as
+the task loss (spike tensors already carry the boxcar window), so
+thresholds learn to rise exactly where spikes are cheap to remove.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..snn import SpikingNetwork, SpikingNeuron
+from ..tensor import Tensor
+
+
+class SpikeRateRegularizer:
+    """Accumulates an L1 spike-rate penalty over one forward window.
+
+    Attach with :meth:`attach` before the forward pass; the hook wraps
+    each neuron's forward to collect its spike output.  ``penalty``
+    returns ``weight * mean(sum_t spikes / (beta V^th))`` — the mean
+    *rate* so the scale is architecture-independent.  Call
+    :meth:`detach` to restore the original forwards.
+    """
+
+    def __init__(self, weight: float = 1e-3) -> None:
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        self.weight = weight
+        self._collected: List[Tensor] = []
+        self._patched = []
+
+    # ------------------------------------------------------------------
+    def attach(self, snn: SpikingNetwork) -> "SpikeRateRegularizer":
+        if self._patched:
+            raise RuntimeError("regularizer already attached")
+        for neuron in snn.spiking_neurons():
+            original = neuron.forward
+
+            def recording(current, _neuron=neuron, _orig=original):
+                out = _orig(current)
+                # Normalise to unit-amplitude rate so the penalty is
+                # comparable across layers with different beta V^th.
+                amplitude = _neuron.beta * _neuron.threshold
+                self._collected.append(out * (1.0 / max(amplitude, 1e-12)))
+                return out
+
+            object.__setattr__(neuron, "forward", recording)
+            self._patched.append((neuron, original))
+        return self
+
+    def detach(self) -> None:
+        for neuron, original in self._patched:
+            object.__setattr__(neuron, "forward", original)
+        self._patched = []
+        self._collected = []
+
+    def __enter__(self) -> "SpikeRateRegularizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop spikes collected by previous forward windows."""
+        self._collected = []
+
+    def penalty(self) -> Optional[Tensor]:
+        """The accumulated penalty term (None if nothing recorded)."""
+        if not self._collected:
+            return None
+        total = None
+        count = 0
+        for spikes in self._collected:
+            term = spikes.mean()
+            total = term if total is None else total + term
+            count += 1
+        return total * (self.weight / count)

@@ -1,0 +1,189 @@
+"""SNN fine-tuning with surrogate-gradient learning (SGL).
+
+After conversion the SNN is trained in the spiking domain (paper
+Section III-B): the temporal unroll is differentiated end-to-end (BPTT
+through all ``T`` steps), the spike discontinuity uses the boxcar
+surrogate, and the weights, thresholds and leaks are optimised jointly
+(following DIET-SNN).  Per the paper, the SNN learning rate starts two
+orders of magnitude below the DNN's and decays on the same milestones.
+
+The trainer clamps thresholds positive and leaks into ``[0, 1]`` after
+every step — the constrained parameterisation of the LIF model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import CrossEntropyLoss
+from ..optim import SGD, Adam, MultiStepLR, paper_milestones
+from ..snn import SpikingNetwork, SpikingNeuron
+from .history import TrainingHistory
+from .metrics import evaluate_snn
+from .trainer import MIN_THRESHOLD
+
+MIN_LEAK, MAX_LEAK = 0.0, 1.0
+
+
+@dataclass
+class SNNTrainConfig:
+    """Hyperparameters for SGL fine-tuning.
+
+    Defaults mirror the paper: a small starting LR (1e-4 in the paper
+    for full-scale runs) with the same 60/80/90% decay.
+
+    Extensions beyond the paper (both default off):
+
+    - ``spike_penalty`` adds an L1 spike-rate regulariser (Spike-Thrift
+      style) trading accuracy against inference energy;
+    - ``input_noise_std`` trains with Gaussian input noise (HIRE-SNN
+      style) for robustness.
+    """
+
+    epochs: int = 20
+    lr: float = 1e-3
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    gamma: float = 0.1
+    train_thresholds: bool = True
+    train_leaks: bool = True
+    spike_penalty: float = 0.0
+    input_noise_std: float = 0.0
+    noise_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.spike_penalty < 0:
+            raise ValueError("spike_penalty must be non-negative")
+        if self.input_noise_std < 0:
+            raise ValueError("input_noise_std must be non-negative")
+
+
+def clamp_neuron_parameters(snn: SpikingNetwork) -> None:
+    """Project neuron parameters back onto their valid ranges."""
+    for neuron in snn.spiking_neurons():
+        np.maximum(neuron.v_threshold.data, MIN_THRESHOLD, out=neuron.v_threshold.data)
+        np.clip(neuron.leak.data, MIN_LEAK, MAX_LEAK, out=neuron.leak.data)
+
+
+class SNNTrainer:
+    """Fine-tunes a converted SNN with BPTT + surrogate gradients."""
+
+    def __init__(self, config: SNNTrainConfig) -> None:
+        self.config = config
+        self.criterion = CrossEntropyLoss()
+
+    def _configure_trainability(self, snn: SpikingNetwork) -> None:
+        for neuron in snn.spiking_neurons():
+            neuron.v_threshold.requires_grad = self.config.train_thresholds
+            neuron.leak.requires_grad = self.config.train_leaks
+
+    def _build_optimizer(self, snn: SpikingNetwork):
+        cfg = self.config
+        params = [p for p in snn.parameters() if p.requires_grad]
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr, weight_decay=cfg.weight_decay)
+        return SGD(
+            params, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay
+        )
+
+    def fit(
+        self,
+        snn: SpikingNetwork,
+        train_batches_factory,
+        test_batches_factory=None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Fine-tune ``snn`` in the spiking domain."""
+        from .regularizers import SpikeRateRegularizer
+
+        cfg = self.config
+        self._configure_trainability(snn)
+        optimizer = self._build_optimizer(snn)
+        scheduler = MultiStepLR(
+            optimizer, milestones=paper_milestones(cfg.epochs), gamma=cfg.gamma
+        )
+        history = TrainingHistory()
+        regularizer = None
+        if cfg.spike_penalty > 0:
+            regularizer = SpikeRateRegularizer(cfg.spike_penalty).attach(snn)
+        noise_rng = np.random.default_rng(cfg.noise_seed)
+        try:
+            self._run_epochs(
+                snn, train_batches_factory, test_batches_factory,
+                optimizer, scheduler, history, regularizer, noise_rng, verbose,
+            )
+        finally:
+            if regularizer is not None:
+                regularizer.detach()
+        return history
+
+    def _run_epochs(
+        self,
+        snn,
+        train_batches_factory,
+        test_batches_factory,
+        optimizer,
+        scheduler,
+        history,
+        regularizer,
+        noise_rng,
+        verbose,
+    ) -> None:
+        cfg = self.config
+        for epoch in range(1, cfg.epochs + 1):
+            started = time.perf_counter()
+            snn.train()
+            losses, correct, seen = [], 0, 0
+            for images, labels in train_batches_factory:
+                optimizer.zero_grad()
+                images = np.asarray(images)
+                if cfg.input_noise_std > 0:
+                    images = images + noise_rng.normal(
+                        0.0, cfg.input_noise_std, size=images.shape
+                    )
+                if regularizer is not None:
+                    regularizer.reset()
+                logits = snn(images)
+                loss = self.criterion(logits, labels)
+                if regularizer is not None:
+                    penalty = regularizer.penalty()
+                    if penalty is not None:
+                        loss = loss + penalty
+                loss.backward()
+                optimizer.step()
+                clamp_neuron_parameters(snn)
+                losses.append(loss.item())
+                correct += int((logits.data.argmax(axis=1) == labels).sum())
+                seen += len(labels)
+            elapsed = time.perf_counter() - started
+
+            test_acc = (
+                evaluate_snn(snn, test_batches_factory)
+                if test_batches_factory is not None
+                else float("nan")
+            )
+            history.record(
+                epoch=epoch,
+                train_loss=float(np.mean(losses)) if losses else float("nan"),
+                train_accuracy=correct / max(seen, 1),
+                test_accuracy=test_acc,
+                learning_rate=optimizer.lr,
+                epoch_seconds=elapsed,
+            )
+            scheduler.step()
+            if verbose:
+                print(
+                    f"[snn T={snn.timesteps}] epoch {epoch:3d}/{cfg.epochs} "
+                    f"loss={history.train_loss[-1]:.4f} "
+                    f"train={history.train_accuracy[-1]:.3f} "
+                    f"test={test_acc:.3f} ({elapsed:.1f}s)"
+                )

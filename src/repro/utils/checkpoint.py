@@ -1,0 +1,80 @@
+"""Checkpointing: save/load model parameters as ``.npz`` archives.
+
+Works for any :class:`~repro.nn.Module`, including converted
+:class:`~repro.snn.SpikingNetwork` twins (whose thresholds and leaks are
+ordinary parameters).  Conversion metadata (per-layer ``beta`` values,
+which live outside the parameter set) is stored alongside under
+reserved ``__meta__``-prefixed keys.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..nn import Module
+from ..snn import SpikingNetwork, SpikingNeuron
+
+_META_PREFIX = "__meta__"
+
+
+def save_checkpoint(model: Module, path: str) -> str:
+    """Serialise ``model``'s parameters (and SNN betas) to ``path``.
+
+    Returns the path written (``.npz`` appended if missing).
+    """
+    payload: Dict[str, np.ndarray] = dict(model.state_dict())
+    for key in payload:
+        if key.startswith(_META_PREFIX):
+            raise ValueError(f"parameter name collides with reserved prefix: {key}")
+    if isinstance(model, SpikingNetwork):
+        betas = [n.beta for n in model.spiking_neurons()]
+        payload[f"{_META_PREFIX}betas"] = np.asarray(betas)
+        payload[f"{_META_PREFIX}timesteps"] = np.asarray([model.timesteps])
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(model: Module, path: str, strict: bool = True) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    For spiking networks the per-neuron ``beta`` values and the time-step
+    count are restored too (``timesteps`` must match unless
+    ``strict=False``).
+    """
+    with np.load(path) as archive:
+        state = {
+            key: archive[key]
+            for key in archive.files
+            if not key.startswith(_META_PREFIX)
+        }
+        meta = {
+            key[len(_META_PREFIX):]: archive[key]
+            for key in archive.files
+            if key.startswith(_META_PREFIX)
+        }
+    model.load_state_dict(state, strict=strict)
+    if isinstance(model, SpikingNetwork) and "betas" in meta:
+        neurons = model.spiking_neurons()
+        betas = meta["betas"]
+        if len(neurons) != len(betas):
+            raise ValueError(
+                f"checkpoint has {len(betas)} neuron betas; model has "
+                f"{len(neurons)} spiking layers"
+            )
+        for neuron, beta in zip(neurons, betas):
+            neuron.beta = float(beta)
+        if strict and "timesteps" in meta:
+            saved_t = int(meta["timesteps"][0])
+            if saved_t != model.timesteps:
+                raise ValueError(
+                    f"checkpoint was built for T={saved_t}, model runs "
+                    f"T={model.timesteps} (pass strict=False to override)"
+                )

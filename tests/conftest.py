@@ -1,0 +1,31 @@
+"""Shared fixtures.
+
+The expensive fixture is ``tiny_context`` — a trained VGG-11 on the
+tiny synthetic CIFAR-10 — shared (session-scoped) by the integration
+tests so the suite trains it exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, get_context, get_scale
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return ExperimentConfig(
+        arch="vgg11", dataset="cifar10", timesteps=2, scale=get_scale("tiny"), seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_config):
+    """A trained tiny VGG-11 context (trained once per test session)."""
+    return get_context(tiny_config)

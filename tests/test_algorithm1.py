@@ -1,0 +1,129 @@
+"""Tests of Algorithm 1 (ComputeLoss / FindScalingFactors)."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import compute_loss, find_scaling_factors
+
+MU = 2.0
+
+
+def uniform_percentiles():
+    return np.percentile(np.linspace(0.0, MU, 100_001), np.arange(101.0))
+
+
+def skewed_percentiles(seed=0):
+    rng = np.random.default_rng(seed)
+    samples = rng.exponential(scale=MU / 6.0, size=200_000)
+    return np.percentile(samples, np.arange(101.0))
+
+
+class TestComputeLoss:
+    def test_zero_when_percentiles_on_staircase(self):
+        # Percentiles sitting just above SNN step edges give ~0 loss
+        # (the firing condition is strict, so the edge itself belongs to
+        # the lower step).
+        t, alpha, beta = 4, 1.0, 1.0
+        eps = 1e-9
+        levels = np.array([MU / 4, MU / 2, 3 * MU / 4]) + eps
+        loss = compute_loss(levels, MU, alpha, beta, t)
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_identity_scaling_loss_nonnegative(self):
+        # With alpha=beta=1 the staircase floors every value: each term
+        # p - staircase(p) >= 0.
+        loss = compute_loss(skewed_percentiles(), MU, 1.0, 1.0, 2)
+        assert loss >= 0.0
+
+    def test_seg2_contribution(self):
+        # One percentile between alpha*mu and mu: loss = p - alpha*beta*mu.
+        p = np.array([1.5])
+        loss = compute_loss(p, MU, 0.5, 1.0, 2)
+        assert loss == pytest.approx(1.5 - 0.5 * MU)
+
+    def test_seg3_contribution(self):
+        # One percentile above mu: loss = mu (1 - alpha beta).
+        p = np.array([3.0])
+        loss = compute_loss(p, MU, 0.5, 1.0, 2)
+        assert loss == pytest.approx(MU * (1 - 0.5))
+
+    def test_negative_percentiles_ignored(self):
+        assert compute_loss(np.array([-1.0, -0.5]), MU, 1.0, 1.0, 2) == 0.0
+
+    def test_beta_reduces_loss_linearly(self):
+        p = skewed_percentiles()
+        l1 = compute_loss(p, MU, 0.5, 1.0, 2)
+        l2 = compute_loss(p, MU, 0.5, 2.0, 2)
+        l15 = compute_loss(p, MU, 0.5, 1.5, 2)
+        # Loss is affine in beta.
+        assert l15 == pytest.approx((l1 + l2) / 2.0, rel=1e-9)
+
+    def test_validation(self):
+        p = uniform_percentiles()
+        with pytest.raises(ValueError):
+            compute_loss(p, 0.0, 1.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            compute_loss(p, MU, 0.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            compute_loss(p, MU, 1.2, 1.0, 2)
+        with pytest.raises(ValueError):
+            compute_loss(p, MU, 1.0, -0.1, 2)
+        with pytest.raises(ValueError):
+            compute_loss(p, MU, 1.0, 1.0, 0)
+
+
+class TestFindScalingFactors:
+    def test_never_worse_than_identity(self):
+        p = skewed_percentiles()
+        identity_loss = compute_loss(p, MU, 1.0, 1.0, 2)
+        result = find_scaling_factors(p, MU, 2)
+        assert abs(result.loss) <= abs(identity_loss)
+
+    def test_skewed_low_t_prefers_downscaled_alpha(self):
+        # The paper's core claim: for skewed distributions at T=2 the
+        # optimum has alpha < 1 (threshold pulled into the mass).
+        result = find_scaling_factors(skewed_percentiles(), MU, 2)
+        assert result.alpha < 1.0
+
+    def test_skewed_low_t_amplifies_beta(self):
+        result = find_scaling_factors(skewed_percentiles(), MU, 2)
+        assert result.beta > 1.0
+
+    def test_factors_in_valid_ranges(self):
+        for t in (1, 2, 3, 5):
+            result = find_scaling_factors(skewed_percentiles(), MU, t)
+            assert 0.0 < result.alpha <= 1.0
+            assert 0.0 < result.beta <= 2.0
+
+    def test_evaluation_count_matches_grid(self):
+        p = skewed_percentiles()
+        result = find_scaling_factors(p, MU, 2, beta_max=1.0, beta_step=0.5)
+        positive = np.unique(p[(p > 0) & (p <= MU)] / MU)
+        # identity + len(alphas) * len([0, 0.5, 1.0])
+        assert result.evaluations == 1 + len(positive) * 3
+
+    def test_custom_alpha_candidates(self):
+        result = find_scaling_factors(
+            skewed_percentiles(), MU, 2, alpha_candidates=[0.25, 0.5]
+        )
+        assert result.alpha in (0.25, 0.5, 1.0)
+
+    def test_rejects_bad_alpha_candidates(self):
+        with pytest.raises(ValueError):
+            find_scaling_factors(skewed_percentiles(), MU, 2, alpha_candidates=[1.5])
+
+    def test_beta_never_zero(self):
+        result = find_scaling_factors(skewed_percentiles(), MU, 2)
+        assert result.beta > 0.0
+
+    def test_uniform_distribution_keeps_scales_near_identity(self):
+        # With uniform percentiles the unscaled loss is already small;
+        # the search must not pick a degenerate tiny alpha.
+        result = find_scaling_factors(uniform_percentiles(), MU, 8)
+        assert result.alpha * result.beta == pytest.approx(1.0, abs=0.35)
+
+    def test_deterministic(self):
+        p = skewed_percentiles()
+        a = find_scaling_factors(p, MU, 2)
+        b = find_scaling_factors(p, MU, 2)
+        assert (a.alpha, a.beta, a.loss) == (b.alpha, b.beta, b.loss)

@@ -1,0 +1,142 @@
+"""Autograd graph mechanics: accumulation, no_grad, deep unrolls."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import GradMode, Tensor, no_grad
+
+
+class TestBackward:
+    def test_scalar_backward(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0
+        z = (y + y * 3.0).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_reused_leaf(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x * x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_non_scalar_requires_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (x * 2.0).backward()
+
+    def test_explicit_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3.0).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_wrong_grad_shape_rejected(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (x * 3.0).backward(np.array([1.0]))
+
+    def test_no_grad_path_untouched(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([2.0], requires_grad=False)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0])
+        assert y.grad is None
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Deep SNN unrolls create graphs far beyond Python's default
+        # recursion limit; the traversal must be iterative.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+
+class TestGradMode:
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._node is None
+
+    def test_no_grad_restores(self):
+        assert GradMode.is_enabled()
+        with no_grad():
+            assert not GradMode.is_enabled()
+        assert GradMode.is_enabled()
+
+    def test_no_grad_decorator(self):
+        @no_grad()
+        def fn(t):
+            return t * 3.0
+
+        x = Tensor([1.0], requires_grad=True)
+        assert not fn(x).requires_grad
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not GradMode.is_enabled()
+            assert not GradMode.is_enabled()
+        assert GradMode.is_enabled()
+
+    def test_detach(self):
+        x = Tensor([1.0], requires_grad=True)
+        d = (x * 2.0).detach()
+        assert not d.requires_grad
+        y = d * 3.0
+        assert not y.requires_grad
+
+
+class TestTensorBasics:
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_item_and_numpy(self):
+        t = Tensor([5.0])
+        assert t.item() == 5.0
+        assert t.numpy() is t.data
+
+    def test_constructors(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(4).data.sum() == 4.0
+        np.testing.assert_allclose(Tensor.full((2,), 7.0).data, [7.0, 7.0])
+
+    def test_wraps_tensor(self):
+        inner = Tensor([1.0])
+        outer = Tensor(inner)
+        np.testing.assert_allclose(outer.data, [1.0])
+
+    def test_len_size_ndim(self, rng):
+        t = Tensor(rng.normal(size=(3, 4)))
+        assert len(t) == 3
+        assert t.size == 12
+        assert t.ndim == 2
+        assert t.dtype == np.float64
+
+    def test_comparisons_return_arrays(self):
+        t = Tensor([1.0, 3.0])
+        mask = t > 2.0
+        assert isinstance(mask, np.ndarray)
+        np.testing.assert_array_equal(mask, [False, True])
+        np.testing.assert_array_equal(t >= 3.0, [False, True])
+        np.testing.assert_array_equal(t < 2.0, [True, False])
+        np.testing.assert_array_equal(t <= 1.0, [True, False])

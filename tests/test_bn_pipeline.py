@@ -1,0 +1,87 @@
+"""Integration test: BN-trained network -> fold -> convert -> evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader, Normalize, synth_cifar10
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    Sequential,
+    ThresholdReLU,
+    fold_all_batchnorms,
+)
+from repro.train import DNNTrainConfig, DNNTrainer, evaluate_dnn, evaluate_snn
+from repro.tensor import Tensor, no_grad
+
+
+
+@pytest.fixture(scope="module")
+def trained_bn_setup():
+    dataset = synth_cifar10(image_size=8, train_size=160, test_size=60, seed=0)
+    mean, std = dataset.channel_stats()
+    normalize = Normalize(mean, std)
+    train_loader = DataLoader(
+        dataset.train_images, dataset.train_labels,
+        batch_size=40, shuffle=True, transform=normalize, seed=1,
+    )
+    test_loader = DataLoader(
+        dataset.test_images, dataset.test_labels, batch_size=60, transform=normalize
+    )
+    model = Sequential(
+        Conv2d(3, 8, 3, padding=1, bias=False, rng=np.random.default_rng(0)),
+        BatchNorm2d(8),
+        ThresholdReLU(init_threshold=4.0),
+        Flatten(),
+        Linear(8 * 8 * 8, 10, bias=False, rng=np.random.default_rng(1)),
+    )
+    DNNTrainer(DNNTrainConfig(epochs=6, lr=0.05)).fit(model, train_loader)
+    model.eval()
+    return model, dataset, normalize, test_loader
+
+
+class TestBNFoldingPipeline:
+    def test_folding_preserves_outputs(self, trained_bn_setup, rng):
+        model, _dataset, _normalize, _loader = trained_bn_setup
+        folded = fold_all_batchnorms(model)
+        folded.eval()
+        x = Tensor(rng.normal(size=(4, 3, 8, 8)))
+        with no_grad():
+            np.testing.assert_allclose(
+                folded(x).data, model(x).data, atol=1e-8
+            )
+
+    def test_folded_network_has_no_bn(self, trained_bn_setup):
+        model, *_ = trained_bn_setup
+        folded = fold_all_batchnorms(model)
+        assert not any(isinstance(m, BatchNorm2d) for m in folded.modules())
+
+    def test_folded_network_converts_and_classifies(self, trained_bn_setup):
+        model, dataset, normalize, test_loader = trained_bn_setup
+        folded = fold_all_batchnorms(model)
+        calibration = DataLoader(
+            dataset.train_images, dataset.train_labels,
+            batch_size=40, transform=normalize,
+        )
+        conversion = convert_dnn_to_snn(
+            folded, calibration, ConversionConfig(timesteps=4)
+        )
+        dnn_accuracy = evaluate_dnn(folded, test_loader)
+        snn_accuracy = evaluate_snn(conversion.snn, test_loader)
+        assert dnn_accuracy > 0.3
+        # Conversion of this shallow net at T=4 must retain most of it.
+        assert snn_accuracy > dnn_accuracy * 0.5
+
+    def test_folding_skips_unpaired_layers(self):
+        model = Sequential(
+            Conv2d(1, 2, 3, padding=1, rng=np.random.default_rng(0)),
+            ThresholdReLU(),
+            BatchNorm2d(2),
+        )
+        folded = fold_all_batchnorms(model)
+        kinds = [type(m).__name__ for m in folded]
+        # Conv not directly followed by BN stays untouched.
+        assert kinds == ["Conv2d", "ThresholdReLU", "BatchNorm2d"]

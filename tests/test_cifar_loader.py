@@ -1,0 +1,96 @@
+"""Real-CIFAR loader tests (against synthetic files in the real format)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data import load_cifar10, load_cifar100
+
+
+def _write_cifar10_tree(root, per_batch=6, seed=0):
+    rng = np.random.default_rng(seed)
+    directory = os.path.join(root, "cifar-10-batches-py")
+    os.makedirs(directory)
+    for name in [f"data_batch_{i}" for i in range(1, 6)] + ["test_batch"]:
+        payload = {
+            b"data": rng.integers(0, 256, size=(per_batch, 3072), dtype=np.uint8),
+            b"labels": rng.integers(0, 10, size=per_batch).tolist(),
+        }
+        with open(os.path.join(directory, name), "wb") as handle:
+            pickle.dump(payload, handle)
+    return root
+
+
+def _write_cifar100_tree(root, count=8, seed=0):
+    rng = np.random.default_rng(seed)
+    directory = os.path.join(root, "cifar-100-python")
+    os.makedirs(directory)
+    for name in ("train", "test"):
+        payload = {
+            b"data": rng.integers(0, 256, size=(count, 3072), dtype=np.uint8),
+            b"fine_labels": rng.integers(0, 100, size=count).tolist(),
+            b"coarse_labels": rng.integers(0, 20, size=count).tolist(),
+        }
+        with open(os.path.join(directory, name), "wb") as handle:
+            pickle.dump(payload, handle)
+    return root
+
+
+class TestLoadCifar10:
+    def test_shapes_and_range(self, tmp_path):
+        root = _write_cifar10_tree(str(tmp_path))
+        dataset = load_cifar10(root)
+        assert dataset.train_images.shape == (30, 3, 32, 32)
+        assert dataset.test_images.shape == (6, 3, 32, 32)
+        assert dataset.train_images.min() >= 0.0
+        assert dataset.train_images.max() <= 1.0
+        assert dataset.num_classes == 10
+        assert dataset.input_shape == (3, 32, 32)
+
+    def test_accepts_direct_batch_dir(self, tmp_path):
+        root = _write_cifar10_tree(str(tmp_path))
+        dataset = load_cifar10(os.path.join(root, "cifar-10-batches-py"))
+        assert dataset.train_images.shape[0] == 30
+
+    def test_channel_stats(self, tmp_path):
+        root = _write_cifar10_tree(str(tmp_path))
+        mean, std = load_cifar10(root).channel_stats()
+        assert mean.shape == (3,) and np.all(std > 0)
+
+    def test_missing_batch_raises(self, tmp_path):
+        root = _write_cifar10_tree(str(tmp_path))
+        os.remove(
+            os.path.join(root, "cifar-10-batches-py", "data_batch_3")
+        )
+        with pytest.raises(FileNotFoundError):
+            load_cifar10(root)
+
+    def test_works_with_dataloader(self, tmp_path):
+        from repro.data import DataLoader
+
+        root = _write_cifar10_tree(str(tmp_path))
+        dataset = load_cifar10(root)
+        loader = DataLoader(dataset.train_images, dataset.train_labels, 10)
+        batch, labels = next(iter(loader))
+        assert batch.shape == (10, 3, 32, 32)
+
+
+class TestLoadCifar100:
+    def test_fine_labels(self, tmp_path):
+        root = _write_cifar100_tree(str(tmp_path))
+        dataset = load_cifar100(root)
+        assert dataset.num_classes == 100
+        assert dataset.train_images.shape == (8, 3, 32, 32)
+
+    def test_coarse_labels(self, tmp_path):
+        root = _write_cifar100_tree(str(tmp_path))
+        dataset = load_cifar100(root, label_mode="coarse")
+        assert dataset.num_classes == 20
+        assert dataset.train_labels.max() < 20
+
+    def test_invalid_label_mode(self, tmp_path):
+        root = _write_cifar100_tree(str(tmp_path))
+        with pytest.raises(ValueError):
+            load_cifar100(root, label_mode="medium")

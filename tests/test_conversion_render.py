@@ -1,0 +1,48 @@
+"""Rendering of conversion reports and reporting edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader
+from repro.experiments.reporting import format_table
+from repro.models import vgg11
+
+
+class TestConversionRender:
+    @pytest.fixture(scope="class")
+    def conversion(self):
+        rng = np.random.default_rng(0)
+        model = vgg11(
+            num_classes=5, image_size=8, width_multiplier=0.125,
+            rng=np.random.default_rng(1),
+        )
+        loader = DataLoader(rng.random((8, 3, 8, 8)), rng.integers(0, 5, 8), 8)
+        return convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2))
+
+    def test_render_contains_strategy_and_layers(self, conversion):
+        text = conversion.render()
+        assert "strategy=proposed" in text
+        assert "T=2" in text
+        assert "alpha" in text and "V^th" in text
+        # one body row per activation layer
+        body_rows = [
+            line for line in text.splitlines()
+            if line and line[0].isdigit()
+        ]
+        assert len(body_rows) == len(conversion.specs)
+
+
+class TestReportingEdgeCases:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_negative_and_zero_floats(self):
+        text = format_table(["v"], [[-1.5], [0.0], [-1e-9]])
+        assert "-1.5" in text
+        assert "0" in text
+
+    def test_mixed_types(self):
+        text = format_table(["x"], [["name"], [3], [2.25]])
+        assert "name" in text and "2.25" in text

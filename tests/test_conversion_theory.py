@@ -1,0 +1,199 @@
+"""Tests of the analytical conversion-error model (paper Eqs. 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import (
+    dnn_threshold_relu,
+    empirical_output_gap,
+    expected_difference,
+    expected_difference_alpha_beta,
+    g_i,
+    h_prime_t_mu,
+    h_t_mu,
+    k_mu,
+    snn_staircase,
+)
+
+MU = 2.0
+UNIFORM = np.linspace(0.0, MU, 200_001)  # dense uniform grid on [0, mu]
+
+
+def skewed_samples(n=100_000, seed=0):
+    """Exponential-ish skew: most mass near zero, like real activations."""
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=MU / 6.0, size=n)
+
+
+class TestStaircase:
+    def test_zero_input(self):
+        np.testing.assert_allclose(snn_staircase(np.zeros(5), 4, 1.0), 0.0)
+
+    def test_saturation(self):
+        out = snn_staircase(np.array([100.0]), 4, 1.0)
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_step_positions(self):
+        # T=2, V^th=1: steps at 0.5 and 1.0.  Eq. 3's firing condition
+        # is strict, so inputs exactly on an edge stay on the lower step.
+        d = np.array([0.49, 0.5, 0.51, 0.99, 1.0, 1.01])
+        np.testing.assert_allclose(
+            snn_staircase(d, 2, 1.0), [0.0, 0.0, 0.5, 0.5, 0.5, 1.0]
+        )
+
+    def test_beta_scales_output(self):
+        d = np.array([0.6])
+        np.testing.assert_allclose(
+            snn_staircase(d, 2, 1.0, beta=1.5), 1.5 * snn_staircase(d, 2, 1.0)
+        )
+
+    def test_bias_shift_moves_left(self):
+        d = np.array([0.3])
+        without = snn_staircase(d, 2, 1.0)
+        with_shift = snn_staircase(d, 2, 1.0, bias_shift=0.25)
+        assert with_shift[0] > without[0]
+
+    def test_monotone_nondecreasing(self):
+        d = np.linspace(-1.0, 5.0, 300)
+        out = snn_staircase(d, 3, 1.3, beta=0.8)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_converges_to_clip_as_t_grows(self):
+        d = np.linspace(0.0, 2.0 * MU, 500)
+        coarse = np.abs(snn_staircase(d, 2, MU) - dnn_threshold_relu(d, MU)).mean()
+        fine = np.abs(snn_staircase(d, 256, MU) - dnn_threshold_relu(d, MU)).mean()
+        assert fine < coarse / 10.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            snn_staircase(np.zeros(1), 0, 1.0)
+        with pytest.raises(ValueError):
+            snn_staircase(np.zeros(1), 2, 0.0)
+
+
+class TestKMu:
+    def test_uniform_is_half(self):
+        assert k_mu(UNIFORM, MU) == pytest.approx(0.5, abs=1e-3)
+
+    def test_skewed_below_half(self):
+        assert k_mu(skewed_samples(), MU) < 0.4
+
+    def test_range(self):
+        assert 0.0 <= k_mu(skewed_samples(), MU) <= 1.0
+
+    def test_no_mass_returns_zero(self):
+        assert k_mu(np.array([-1.0, -2.0]), MU) == 0.0
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            k_mu(UNIFORM, 0.0)
+
+
+class TestGi:
+    def test_uniform_bins_equal_one_over_t(self):
+        for t in (2, 3, 5):
+            for i in range(1, t):
+                assert g_i(UNIFORM, t, MU, i) == pytest.approx(1.0 / t, abs=1e-3)
+
+    def test_bins_sum_below_one(self):
+        s = skewed_samples()
+        total = sum(g_i(s, 4, MU, i) for i in range(1, 4))
+        assert 0.0 <= total <= 1.0
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            g_i(UNIFORM, 3, MU, 3)
+        with pytest.raises(ValueError):
+            g_i(UNIFORM, 3, MU, 0)
+
+
+class TestHTMu:
+    def test_uniform_is_half_for_all_t(self):
+        # The paper's key algebraic identity (Section III-A).
+        for t in (1, 2, 3, 4, 5):
+            assert h_t_mu(UNIFORM, t, MU) == pytest.approx(0.5, abs=2e-3)
+
+    def test_skewed_h_below_uniform(self):
+        s = skewed_samples()
+        for t in (2, 3):
+            assert h_t_mu(s, t, MU) < 0.45
+
+    def test_skewed_h_decreases_with_small_t(self):
+        # The paper's Fig. 1(a) insert: h collapses as T drops below ~5.
+        s = skewed_samples()
+        h_values = [h_t_mu(s, t, MU) for t in (1, 2, 3, 4, 5)]
+        assert h_values[0] < h_values[-1]
+
+    def test_h_prime_uniform(self):
+        # For the uniform density h' = (T-1)/(2T).
+        for t in (2, 4, 8):
+            expected = (t - 1) / (2.0 * t)
+            assert h_prime_t_mu(UNIFORM, t, MU) == pytest.approx(expected, abs=2e-3)
+
+    def test_empty_band(self):
+        assert h_t_mu(np.array([-1.0]), 2, MU) == 0.0
+        assert h_prime_t_mu(np.array([-1.0]), 2, MU) == 0.0
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            h_t_mu(UNIFORM, 0, MU)
+        with pytest.raises(ValueError):
+            h_prime_t_mu(UNIFORM, 0, MU)
+
+
+class TestExpectedDifference:
+    def test_uniform_error_vanishes(self):
+        # Eq. 7 evaluates to 0 for uniform distributions — the result
+        # of [15] that the paper revisits.
+        for t in (2, 3, 5):
+            delta = expected_difference(UNIFORM, UNIFORM, MU, t)
+            assert abs(delta) < 0.01 * MU
+
+    def test_skewed_error_positive_at_low_t(self):
+        # Skew means h < K: the SNN under-counts spikes, Delta > 0.
+        s = skewed_samples()
+        delta = expected_difference(s, s, MU, 2)
+        assert delta > 0.0
+
+    def test_error_grows_as_t_shrinks(self):
+        s = skewed_samples()
+        d2 = expected_difference(s, s, MU, 1)
+        d5 = expected_difference(s, s, MU, 5)
+        assert d2 > d5
+
+    def test_alpha_beta_can_reduce_error(self):
+        s = skewed_samples()
+        base = abs(expected_difference_alpha_beta(s, s, MU, 1.0, 1.0, 2))
+        # A mild down-scale with amplified output should shrink |Delta|.
+        candidates = [
+            abs(expected_difference_alpha_beta(s, s, MU, a, b, 2))
+            for a in (0.3, 0.5, 0.7)
+            for b in (1.2, 1.5, 1.8)
+        ]
+        assert min(candidates) < base
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            expected_difference_alpha_beta(UNIFORM, UNIFORM, MU, 1.5, 1.0, 2)
+
+
+class TestEmpiricalGap:
+    def test_agrees_with_uniform_theory(self):
+        # With the Deng bias shift the uniform-case gap is ~0.
+        gap = empirical_output_gap(
+            UNIFORM, MU, 4, MU, bias_shift=MU / 8.0
+        )
+        assert abs(gap) < 0.01 * MU
+
+    def test_positive_for_skewed_low_t(self):
+        gap = empirical_output_gap(skewed_samples(), MU, 2, MU)
+        assert gap > 0.0
+
+    def test_matches_direct_computation(self):
+        d = skewed_samples(n=10_000)
+        gap = empirical_output_gap(d, MU, 3, MU, beta=1.2)
+        manual = (
+            dnn_threshold_relu(d, MU).mean()
+            - snn_staircase(d, 3, MU, beta=1.2).mean()
+        )
+        assert gap == pytest.approx(manual, abs=1e-12)

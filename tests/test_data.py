@@ -1,0 +1,170 @@
+"""Data substrate tests: synthetic datasets, transforms, loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AdditiveGaussianNoise,
+    Compose,
+    DataLoader,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    SyntheticImageConfig,
+    SyntheticImageDataset,
+    synth_cifar10,
+    synth_cifar100,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_range(self):
+        ds = synth_cifar10(image_size=16, train_size=50, test_size=20, seed=0)
+        assert ds.train_images.shape == (50, 3, 16, 16)
+        assert ds.test_images.shape == (20, 3, 16, 16)
+        assert ds.train_images.min() >= 0.0 and ds.train_images.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = synth_cifar10(image_size=8, train_size=30, test_size=10, seed=7)
+        b = synth_cifar10(image_size=8, train_size=30, test_size=10, seed=7)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = synth_cifar10(image_size=8, train_size=30, test_size=10, seed=1)
+        b = synth_cifar10(image_size=8, train_size=30, test_size=10, seed=2)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_label_balance(self):
+        ds = synth_cifar10(image_size=8, train_size=100, test_size=20, seed=0)
+        counts = np.bincount(ds.train_labels, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_cifar100_has_100_classes(self):
+        ds = synth_cifar100(image_size=8, train_size=200, test_size=100, seed=0)
+        assert ds.num_classes == 100
+        assert set(np.unique(ds.train_labels)) == set(range(100))
+
+    def test_train_test_disjoint_noise(self):
+        ds = synth_cifar10(image_size=8, train_size=30, test_size=30, seed=0)
+        assert not np.allclose(ds.train_images[:10], ds.test_images[:10])
+
+    def test_classes_are_distinguishable(self):
+        # Class means should differ far more than within-class scatter.
+        ds = synth_cifar10(image_size=8, train_size=200, test_size=20, seed=0)
+        means = np.stack([
+            ds.train_images[ds.train_labels == c].mean(axis=0).reshape(-1)
+            for c in range(10)
+        ])
+        between = np.linalg.norm(means - means.mean(axis=0), axis=1).mean()
+        assert between > 0.1
+
+    def test_channel_stats(self):
+        ds = synth_cifar10(image_size=8, train_size=40, test_size=10, seed=0)
+        mean, std = ds.channel_stats()
+        assert mean.shape == (3,) and std.shape == (3,)
+        assert np.all(std > 0)
+
+    def test_input_shape(self):
+        ds = synth_cifar10(image_size=12, train_size=20, test_size=10, seed=0)
+        assert ds.input_shape == (3, 12, 12)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(image_size=2)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(train_size=5, num_classes=10)
+
+
+class TestTransforms:
+    def test_normalize(self, rng):
+        batch = rng.random((8, 3, 4, 4))
+        mean, std = batch.mean(axis=(0, 2, 3)), batch.std(axis=(0, 2, 3))
+        out = Normalize(mean, std)(batch, rng)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-10)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize(np.zeros(3), np.zeros(3))
+
+    def test_flip_probability_one(self, rng):
+        batch = rng.random((4, 1, 3, 3))
+        out = RandomHorizontalFlip(p=1.0)(batch, rng)
+        np.testing.assert_allclose(out, batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero(self, rng):
+        batch = rng.random((4, 1, 3, 3))
+        np.testing.assert_allclose(RandomHorizontalFlip(p=0.0)(batch, rng), batch)
+
+    def test_random_crop_preserves_shape(self, rng):
+        batch = rng.random((4, 3, 8, 8))
+        assert RandomCrop(2)(batch, rng).shape == batch.shape
+
+    def test_random_crop_zero_padding_identity(self, rng):
+        batch = rng.random((2, 1, 4, 4))
+        np.testing.assert_allclose(RandomCrop(0)(batch, rng), batch)
+
+    def test_noise(self, rng):
+        batch = np.zeros((2, 1, 4, 4))
+        out = AdditiveGaussianNoise(0.1)(batch, rng)
+        assert out.std() > 0
+        np.testing.assert_allclose(AdditiveGaussianNoise(0.0)(batch, rng), batch)
+
+    def test_compose_order(self, rng):
+        batch = rng.random((2, 3, 4, 4))
+        mean, std = batch.mean(axis=(0, 2, 3)), batch.std(axis=(0, 2, 3))
+        pipeline = Compose([RandomHorizontalFlip(1.0), Normalize(mean, std)])
+        out = pipeline(batch, rng)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+
+    def test_rejects_non_batch(self, rng):
+        with pytest.raises(ValueError):
+            Normalize(np.zeros(3), np.ones(3))(rng.random((3, 4, 4)), rng)
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, rng):
+        images, labels = rng.random((10, 1, 2, 2)), np.arange(10)
+        loader = DataLoader(images, labels, batch_size=4)
+        batches = list(loader)
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+
+    def test_drop_last(self, rng):
+        loader = DataLoader(rng.random((10, 1, 2, 2)), np.arange(10), 4, drop_last=True)
+        assert len(loader) == 2
+        assert all(b[0].shape[0] == 4 for b in loader)
+
+    def test_len(self, rng):
+        loader = DataLoader(rng.random((10, 1, 2, 2)), np.arange(10), 4)
+        assert len(loader) == 3
+
+    def test_shuffle_changes_order_between_epochs(self, rng):
+        labels = np.arange(32)
+        loader = DataLoader(rng.random((32, 1, 2, 2)), labels, 32, shuffle=True)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, rng):
+        labels = np.arange(8)
+        loader = DataLoader(rng.random((8, 1, 2, 2)), labels, 8)
+        np.testing.assert_array_equal(next(iter(loader))[1], labels)
+
+    def test_transform_applied(self, rng):
+        images = np.ones((4, 1, 2, 2))
+        loader = DataLoader(
+            images, np.zeros(4), 4, transform=Normalize(np.array([1.0]), np.array([2.0]))
+        )
+        batch, _ = next(iter(loader))
+        np.testing.assert_allclose(batch, 0.0)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(rng.random((4, 1, 2, 2)), np.zeros(3), 2)
+
+    def test_bad_batch_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DataLoader(rng.random((4, 1, 2, 2)), np.zeros(4), 0)

@@ -1,0 +1,75 @@
+"""Tests of the per-layer conversion-error diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import (
+    ConversionConfig,
+    convert_dnn_to_snn,
+    diagnose_conversion,
+    render_diagnosis,
+)
+
+
+@pytest.fixture(scope="module")
+def diagnosis(tiny_context):
+    conversion = convert_dnn_to_snn(
+        tiny_context.model, tiny_context.calibration_loader(),
+        ConversionConfig(timesteps=2, strategy="threshold_relu"),
+    )
+    reports = diagnose_conversion(
+        conversion, tiny_context.model, tiny_context.test_loader(), max_batches=1
+    )
+    return conversion, reports
+
+
+class TestDiagnoseConversion:
+    def test_one_report_per_layer(self, diagnosis):
+        conversion, reports = diagnosis
+        assert len(reports) == len(conversion.specs)
+
+    def test_skew_indicators(self, diagnosis):
+        _conversion, reports = diagnosis
+        for report in reports:
+            assert 0.0 <= report.k_mu <= 1.0
+            assert 0.0 <= report.h_t_mu <= 1.0
+        # Trained-network activations are skewed: K below the uniform 1/2
+        # for most layers.
+        assert np.mean([r.k_mu for r in reports]) < 0.5
+
+    def test_unscaled_low_t_gap_positive(self, diagnosis):
+        """At T=2 with V^th=mu the SNN under-fires: predicted and
+        measured gaps should be positive for most layers (the paper's
+        central Section III-A observation)."""
+        _conversion, reports = diagnosis
+        predicted_positive = sum(1 for r in reports if r.predicted_gap > 0)
+        measured_positive = sum(1 for r in reports if r.measured_gap > 0)
+        assert predicted_positive >= len(reports) * 0.6
+        assert measured_positive >= len(reports) * 0.6
+
+    def test_prediction_correlates_with_measurement(self, diagnosis):
+        _conversion, reports = diagnosis
+        predicted = np.array([r.predicted_gap for r in reports])
+        measured = np.array([r.measured_gap for r in reports])
+        if predicted.std() > 0 and measured.std() > 0:
+            correlation = np.corrcoef(predicted, measured)[0, 1]
+            assert correlation > 0.0
+
+    def test_relative_gap(self, diagnosis):
+        _conversion, reports = diagnosis
+        for report in reports:
+            if report.dnn_mean != 0:
+                assert report.relative_gap == pytest.approx(
+                    report.measured_gap / report.dnn_mean
+                )
+
+    def test_render(self, diagnosis):
+        _conversion, reports = diagnosis
+        text = render_diagnosis(reports)
+        assert "K(mu)" in text
+        assert str(len(reports) - 1) in text
+
+    def test_no_batches_rejected(self, diagnosis, tiny_context):
+        conversion, _reports = diagnosis
+        with pytest.raises(ValueError):
+            diagnose_conversion(conversion, tiny_context.model, [])

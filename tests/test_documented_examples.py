@@ -1,0 +1,35 @@
+"""The documented quickstart snippets must actually work.
+
+Runs the code shown in ``repro.__init__``'s docstring and the README's
+in-code example (shared tiny context keeps it cheap).
+"""
+
+import repro
+
+
+class TestPackageDocstringExample:
+    def test_quickstart_snippet(self, tiny_config):
+        """The exact snippet from repro/__init__.py."""
+        from repro.experiments import run_pipeline
+
+        result = run_pipeline(tiny_config)
+        assert result.snn_accuracy >= result.conversion_accuracy - 0.15
+
+    def test_readme_conversion_snippet(self, tiny_context):
+        from repro.conversion import ConversionConfig, convert_dnn_to_snn
+        from repro.train import SNNTrainer, SNNTrainConfig
+
+        conversion = convert_dnn_to_snn(
+            tiny_context.model, tiny_context.calibration_loader(),
+            ConversionConfig(timesteps=2, strategy="proposed"),
+        )
+        SNNTrainer(SNNTrainConfig(epochs=1, lr=5e-4)).fit(
+            conversion.snn,
+            tiny_context.train_loader(seed=9),
+            tiny_context.test_loader(),
+        )
+
+    def test_version_and_subpackages(self):
+        assert repro.__version__
+        for name in repro.__all__:
+            __import__(f"repro.{name}")

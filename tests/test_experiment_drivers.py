@@ -1,0 +1,138 @@
+"""Tiny-scale smoke tests of every table/figure driver.
+
+These exercise the exact code paths the benchmark harness runs, on the
+shared tiny context, asserting structure rather than accuracy levels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_table1,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table1_cell,
+)
+from repro.experiments.config import get_scale
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_tiny_vgg16(tiny_context):
+    """Most drivers run VGG-16; warm a tiny VGG-16 context once.
+
+    (The shared ``tiny_context`` fixture covers VGG-11 paths.)
+    """
+    from repro.experiments import ExperimentConfig, get_context
+
+    return get_context(
+        ExperimentConfig("vgg16", "cifar10", timesteps=2,
+                         scale=get_scale("tiny"), seed=0)
+    )
+
+
+class TestFig1Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1(scale_name="tiny", timesteps=2, max_batches=2)
+
+    def test_structure(self, result):
+        assert set(result) >= {
+            "mu", "d_max", "alpha", "beta", "grid", "curves",
+            "k_mu", "h_t_mu", "h_t_mu_uniform",
+        }
+        assert result["grid"].shape == result["curves"]["dnn_threshold_relu"].shape
+
+    def test_uniform_h_is_half(self, result):
+        for value in result["h_t_mu_uniform"].values():
+            assert value == pytest.approx(0.5, abs=0.01)
+
+    def test_empirical_h_below_half(self, result):
+        assert all(h < 0.5 for h in result["h_t_mu"].values())
+
+    def test_curves_bounded(self, result):
+        dnn = result["curves"]["dnn_threshold_relu"]
+        assert dnn.max() <= result["mu"] + 1e-9
+
+    def test_render(self, result):
+        text = render_fig1(result)
+        assert "K(mu)" in text and "h(T, mu)" in text
+
+
+class TestFig2Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(
+            arch="vgg16", scale_name="tiny", timesteps=(2, 3),
+            strategies=("threshold_relu", "proposed"),
+        )
+
+    def test_series_lengths(self, result):
+        for series in result["series"].values():
+            assert len(series) == 2
+
+    def test_percentages(self, result):
+        for series in result["series"].values():
+            assert all(0.0 <= v <= 100.0 for v in series)
+
+    def test_render(self, result):
+        assert "Fig. 2" in render_fig2(result)
+
+
+class TestFig3Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(scale_name="tiny", timesteps=(2, 3), repeats=1)
+
+    def test_rows(self, result):
+        assert [r["timesteps"] for r in result["rows"]] == [2, 3]
+
+    def test_time_scales_with_t(self, result):
+        t2, t3 = result["rows"]
+        assert t3["train_seconds_per_epoch"] > t2["train_seconds_per_epoch"]
+
+    def test_memory_scales_with_t(self, result):
+        t2, t3 = result["rows"]
+        assert t3["train_memory_mb"] > t2["train_memory_mb"]
+
+    def test_render(self, result):
+        assert "Fig. 3" in render_fig3(result)
+
+
+class TestFig4Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(scale_name="tiny", fine_tune=False)
+
+    def test_profiles_present(self, result):
+        labels = {p["label"] for p in result["profiles"]}
+        assert labels == {
+            "proposed T=2", "proposed T=3", "hybrid T=5 [7]",
+            "conversion T=16 [15]",
+        }
+
+    def test_energy_positive(self, result):
+        assert result["dnn_energy_joules"] > 0
+        for profile in result["profiles"]:
+            assert profile["energy_joules"] > 0
+
+    def test_spike_rates_bounded(self, result):
+        for profile in result["profiles"]:
+            for rate in profile["per_layer_spike_rates"]:
+                assert 0.0 <= rate <= profile["timesteps"] + 1e-9
+
+    def test_render(self, result):
+        assert "iso-arch DNN" in render_fig4(result)
+
+
+class TestTable1Driver:
+    def test_cell_contains_paper_reference(self):
+        row = run_table1_cell("vgg11", "cifar10", 2, get_scale("tiny"))
+        assert row["paper_dnn"] == 90.76
+        assert 0.0 <= row["snn_accuracy"] <= 100.0
+        assert "Table I" in render_table1([row])

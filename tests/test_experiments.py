@@ -1,0 +1,139 @@
+"""Experiment-harness tests: configs, reporting, end-to-end integration.
+
+The integration tests share the session-scoped ``tiny_context`` fixture
+(one trained tiny VGG-11) so the whole file costs one training run.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    ExperimentConfig,
+    convert_only,
+    format_table,
+    get_scale,
+    rows_from_dicts,
+    run_pipeline,
+    save_results,
+)
+from repro.experiments.config import SCALES, ScalePreset
+from repro.train import evaluate_snn
+
+
+class TestConfig:
+    def test_scales_available(self):
+        assert set(SCALES) == {"tiny", "bench", "full"}
+        assert get_scale("bench").name == "bench"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ScalePreset(
+                name="bad", image_size=2, train_size=10, test_size=10,
+                width_multiplier=1.0, batch_size=2, dnn_epochs=1,
+                snn_epochs=1, calibration_batches=1,
+            )
+
+    def test_experiment_config_num_classes(self):
+        a = ExperimentConfig("vgg11", "cifar10")
+        b = ExperimentConfig("vgg16", "cifar100")
+        assert a.num_classes == 10 and b.num_classes == 100
+
+    def test_with_timesteps_preserves_context_key(self):
+        base = ExperimentConfig("vgg11", "cifar10", timesteps=2)
+        other = base.with_timesteps(5)
+        assert other.timesteps == 5
+        assert base.context_key() == other.context_key()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig("vgg11", "imagenet")
+        with pytest.raises(ValueError):
+            ExperimentConfig("vgg11", "cifar10", timesteps=0)
+
+    def test_paper_table_reference_complete(self):
+        assert len(PAPER_TABLE1) == 10
+        for values in PAPER_TABLE1.values():
+            dnn, conv, snn = values
+            assert conv < snn <= dnn  # the paper's own ordering
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [10, 0.333333]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="Title")
+        assert text.splitlines()[0] == "Title"
+
+    def test_format_cell_styles(self):
+        text = format_table(["v"], [[1.23456789e-8], [123456.0], [0.5], [0]])
+        assert "1.235e-08" in text
+        assert "1.235e+05" in text
+
+    def test_rows_from_dicts(self):
+        rows = rows_from_dicts([{"a": 1, "b": 2}], ["b", "a", "missing"])
+        assert rows == [[2, 1, ""]]
+
+    def test_save_results(self, tmp_path):
+        path = save_results("unit", {"x": 1.5}, directory=str(tmp_path))
+        with open(path) as handle:
+            assert json.load(handle) == {"x": 1.5}
+        assert os.path.basename(path) == "unit.json"
+
+
+class TestIntegrationPipeline:
+    """End-to-end on the shared tiny context (paper's core claims)."""
+
+    def test_dnn_learns_above_chance(self, tiny_context):
+        assert tiny_context.dnn_accuracy > 0.3  # 10 classes -> chance 0.1
+
+    def test_pipeline_caches(self, tiny_config):
+        first = run_pipeline(tiny_config)
+        second = run_pipeline(tiny_config)
+        assert first is second
+
+    def test_sgl_recovers_conversion_gap(self, tiny_config):
+        """Table I shape: conversion << DNN; SGL recovers much of it."""
+        result = run_pipeline(tiny_config)
+        assert result.conversion_accuracy < result.dnn_accuracy
+        assert result.snn_accuracy >= result.conversion_accuracy - 0.05
+
+    def test_as_row_keys(self, tiny_config):
+        row = run_pipeline(tiny_config).as_row()
+        assert set(row) == {
+            "architecture", "dataset", "timesteps",
+            "dnn_accuracy", "conversion_accuracy", "snn_accuracy",
+        }
+
+    def test_convert_only_strategies_run(self, tiny_config, tiny_context):
+        test_loader = tiny_context.test_loader()
+        for strategy in ("proposed", "threshold_relu", "max_activation",
+                          "deng_shift", "grid_scaling"):
+            conversion = convert_only(
+                tiny_config, strategy=strategy, context=tiny_context
+            )
+            accuracy = evaluate_snn(conversion.snn, test_loader)
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_proposed_alpha_below_one_at_t2(self, tiny_config, tiny_context):
+        """Skewed activations must drive alpha below 1 (paper Sec. III-B)."""
+        conversion = convert_only(tiny_config, context=tiny_context)
+        alphas = [spec.alpha for spec in conversion.specs]
+        assert np.mean(alphas) < 1.0
+
+    def test_context_determinism(self, tiny_config, tiny_context):
+        from repro.experiments.context import _build_dataset
+
+        again = _build_dataset(tiny_config)
+        np.testing.assert_allclose(
+            again.train_images, tiny_context.dataset.train_images
+        )

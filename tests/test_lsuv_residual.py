@@ -1,0 +1,67 @@
+"""Tests for the residual-branch damping and fig2 chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import render_fig2
+from repro.models import resnet20, vgg11
+from repro.models.resnet import BasicBlock
+from repro.train.lsuv import scale_residual_branches
+
+
+class TestScaleResidualBranches:
+    def test_scales_all_blocks(self):
+        model = resnet20(width_multiplier=0.125, rng=np.random.default_rng(0))
+        before = [
+            blk.conv2.weight.data.copy()
+            for blk in model.modules() if isinstance(blk, BasicBlock)
+        ]
+        count = scale_residual_branches(model, factor=0.1)
+        assert count == 9
+        after = [
+            blk.conv2.weight.data
+            for blk in model.modules() if isinstance(blk, BasicBlock)
+        ]
+        for b, a in zip(before, after):
+            np.testing.assert_allclose(a, b * 0.1)
+
+    def test_noop_on_vgg(self):
+        model = vgg11(image_size=8, width_multiplier=0.125,
+                      rng=np.random.default_rng(0))
+        assert scale_residual_branches(model) == 0
+
+    def test_shortcut_untouched(self):
+        model = resnet20(width_multiplier=0.125, rng=np.random.default_rng(0))
+        from repro.nn import Conv2d
+
+        shortcut_weights = [
+            blk.shortcut.weight.data.copy()
+            for blk in model.modules()
+            if isinstance(blk, BasicBlock) and isinstance(blk.shortcut, Conv2d)
+        ]
+        scale_residual_branches(model, factor=0.5)
+        after = [
+            blk.shortcut.weight.data
+            for blk in model.modules()
+            if isinstance(blk, BasicBlock) and isinstance(blk.shortcut, Conv2d)
+        ]
+        for b, a in zip(shortcut_weights, after):
+            np.testing.assert_allclose(a, b)
+
+
+class TestFig2Render:
+    def test_includes_chart_and_table(self):
+        result = {
+            "arch": "vgg16",
+            "dataset": "cifar10",
+            "timesteps": [2, 4, 8],
+            "series": {
+                "threshold_relu": [10.0, 20.0, 40.0],
+                "proposed": [30.0, 35.0, 38.0],
+            },
+            "dnn_accuracy": 60.0,
+        }
+        text = render_fig2(result)
+        assert "Fig. 2" in text
+        assert "accuracy (%) vs T" in text
+        assert "o = threshold_relu" in text

@@ -1,0 +1,139 @@
+"""Architecture tests: VGG-11/16, ResNet-20, registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BasicBlock,
+    available_models,
+    build_model,
+    register_model,
+    resnet20,
+    vgg11,
+    vgg16,
+)
+from repro.nn import Conv2d, MaxPool2d, ThresholdReLU
+from repro.tensor import Tensor
+
+
+class TestVGG:
+    def test_vgg11_output_shape(self, rng):
+        m = vgg11(num_classes=10, image_size=32, width_multiplier=0.125, rng=rng)
+        assert m(Tensor(rng.normal(size=(2, 3, 32, 32)))).shape == (2, 10)
+
+    def test_vgg16_output_shape(self, rng):
+        m = vgg16(num_classes=7, image_size=16, width_multiplier=0.125, rng=rng)
+        assert m(Tensor(rng.normal(size=(2, 3, 16, 16)))).shape == (2, 7)
+
+    def test_conv_layer_counts(self, rng):
+        convs11 = [
+            l for l in vgg11(width_multiplier=0.125, image_size=16, rng=rng).features
+            if isinstance(l, Conv2d)
+        ]
+        convs16 = [
+            l for l in vgg16(width_multiplier=0.125, image_size=16, rng=rng).features
+            if isinstance(l, Conv2d)
+        ]
+        assert len(convs11) == 8  # VGG-11: 8 conv + 3 FC originally; here 8 conv
+        assert len(convs16) == 13
+
+    def test_pools_skipped_for_small_inputs(self, rng):
+        m = vgg16(image_size=8, width_multiplier=0.125, rng=rng)
+        pools = [l for l in m.features if isinstance(l, MaxPool2d)]
+        assert len(pools) == 3  # 8 -> 4 -> 2 -> 1, further pools skipped
+        assert m(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 10)
+
+    def test_width_multiplier_scales_channels(self, rng):
+        narrow = vgg11(width_multiplier=0.125, image_size=16, rng=rng)
+        wide = vgg11(width_multiplier=0.25, image_size=16, rng=np.random.default_rng(0))
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_relu_variant_has_no_thresholds(self, rng):
+        m = vgg11(activation="relu", image_size=16, width_multiplier=0.125, rng=rng)
+        assert m.threshold_layers() == []
+
+    def test_threshold_layers_ordering(self, rng):
+        m = vgg11(image_size=16, width_multiplier=0.125, rng=rng)
+        layers = m.threshold_layers()
+        assert len(layers) == 9  # 8 conv activations + 1 classifier activation
+        assert all(isinstance(l, ThresholdReLU) for l in layers)
+
+    def test_no_bias_anywhere(self, rng):
+        m = vgg16(image_size=16, width_multiplier=0.125, rng=rng)
+        for module in m.modules():
+            if isinstance(module, Conv2d):
+                assert module.bias is None
+
+    def test_unknown_config_rejected(self):
+        from repro.models.vgg import VGG
+
+        with pytest.raises(ValueError):
+            VGG("vgg19")
+
+    def test_custom_config_list(self, rng):
+        from repro.models.vgg import VGG
+
+        m = VGG([8, "M", 16], num_classes=4, image_size=8, rng=rng)
+        assert m(Tensor(rng.normal(size=(1, 3, 8, 8)))).shape == (1, 4)
+        assert m.name == "vgg-custom"
+
+    def test_deterministic_given_rng(self):
+        a = vgg11(image_size=8, width_multiplier=0.125, rng=np.random.default_rng(5))
+        b = vgg11(image_size=8, width_multiplier=0.125, rng=np.random.default_rng(5))
+        for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert na == nb
+            np.testing.assert_allclose(pa.data, pb.data)
+
+
+class TestResNet:
+    def test_output_shape(self, rng):
+        m = resnet20(num_classes=10, width_multiplier=0.25, rng=rng)
+        assert m(Tensor(rng.normal(size=(2, 3, 16, 16)))).shape == (2, 10)
+
+    def test_block_count(self, rng):
+        m = resnet20(width_multiplier=0.25, rng=rng)
+        blocks = [b for b in m.stages if isinstance(b, BasicBlock)]
+        assert len(blocks) == 9  # 3 stages x 3 blocks
+
+    def test_depth_validation(self):
+        from repro.models.resnet import ResNet
+
+        with pytest.raises(ValueError):
+            ResNet(depth=21)
+
+    def test_shortcut_types(self, rng):
+        m = resnet20(width_multiplier=0.25, rng=rng)
+        blocks = list(m.stages)
+        from repro.nn import Identity
+
+        assert isinstance(blocks[0].shortcut, Identity)  # same width, stride 1
+        assert isinstance(blocks[3].shortcut, Conv2d)  # stage transition
+
+    def test_activation_count(self, rng):
+        m = resnet20(width_multiplier=0.25, rng=rng)
+        # stem + 2 per block * 9 blocks = 19 activations
+        assert len(m.threshold_layers()) == 19
+
+    def test_spatial_downsampling(self, rng):
+        m = resnet20(width_multiplier=0.25, rng=rng)
+        out = m.stages(m.stem(Tensor(rng.normal(size=(1, 3, 32, 32)))))
+        assert out.shape[2] == 8  # 32 / 2 / 2
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_models()) >= {"vgg11", "vgg16", "resnet20"}
+
+    def test_build(self, rng):
+        m = build_model("resnet20", width_multiplier=0.25, rng=rng)
+        assert m.name == "resnet20"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet")
+
+    def test_register_custom(self, rng):
+        register_model("tiny-mlp-for-test", lambda **kw: vgg11(**kw))
+        assert "tiny-mlp-for-test" in available_models()
+        with pytest.raises(ValueError):
+            register_model("tiny-mlp-for-test", lambda **kw: None)

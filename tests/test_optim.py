@@ -1,0 +1,147 @@
+"""Optimizer and LR-scheduler unit tests (exact step math)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    CosineLR,
+    MultiStepLR,
+    StepLR,
+    paper_milestones,
+)
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value]))
+    p.grad = np.array([grad])
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0, 0.5)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        opt.step()  # v=1, p=-1
+        p.grad = np.array([1.0])
+        opt.step()  # v=1.9, p=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = make_param(1.0, 0.0)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_nesterov(self):
+        p = make_param(0.0, 1.0)
+        opt = SGD([p], lr=1.0, momentum=0.5, nesterov=True)
+        opt.step()  # v=1, update=g+0.5v=1.5
+        np.testing.assert_allclose(p.data, [-1.5])
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, nesterov=True)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        p = make_param(0.0, 0.3)
+        Adam([p], lr=0.01).step()
+        np.testing.assert_allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.5)
+        for _ in range(200):
+            p.grad = 2.0 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay_applied(self):
+        p = make_param(1.0, 0.0)
+        Adam([p], lr=0.1, weight_decay=1.0).step()
+        assert p.data[0] < 1.0
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param()], betas=(1.0, 0.9))
+
+
+class TestSchedulers:
+    def test_paper_milestones(self):
+        assert paper_milestones(300) == [180, 240, 270]
+        assert paper_milestones(10) == [6, 8, 9]
+
+    def test_paper_milestones_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            paper_milestones(0)
+
+    def test_multistep(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_multistep_rejects_bad_milestones(self):
+        with pytest.raises(ValueError):
+            MultiStepLR(SGD([make_param()], lr=1.0), milestones=[0])
+
+    def test_steplr(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        # epoch // step_size: epochs 1..4 -> exponents 0, 1, 1, 2
+        np.testing.assert_allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decrease(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = CosineLR(opt, total_epochs=5)
+        previous = opt.lr
+        for _ in range(5):
+            sched.step()
+            assert opt.lr <= previous
+            previous = opt.lr

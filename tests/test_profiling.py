@@ -1,0 +1,143 @@
+"""Profiling tests: memory meter, T-scaling, timing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader
+from repro.models import vgg11
+from repro.nn import CrossEntropyLoss, Linear, Sequential
+from repro.profiling import (
+    EpochTimeComparison,
+    GraphMemoryMeter,
+    MemoryReport,
+    inference_memory,
+    parameter_bytes,
+    time_callable,
+    training_memory,
+)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def model_and_loader():
+    rng = np.random.default_rng(0)
+    model = vgg11(
+        num_classes=5, image_size=8, width_multiplier=0.125,
+        rng=np.random.default_rng(1),
+    )
+    images = rng.random((8, 3, 8, 8))
+    labels = rng.integers(0, 5, size=8)
+    return model, DataLoader(images, labels, batch_size=8)
+
+
+class TestGraphMemoryMeter:
+    def test_counts_graph_tensors(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)), requires_grad=True)
+        with GraphMemoryMeter() as meter:
+            ((x * 2.0) + 1.0).sum()
+        assert meter.tensors_created == 3  # mul, add, sum
+        assert meter.bytes_allocated >= 2 * 10 * 10 * 8
+
+    def test_ignores_no_grad(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        with GraphMemoryMeter() as meter:
+            with no_grad():
+                (x * 2.0).sum()
+        assert meter.tensors_created == 0
+
+    def test_patch_restored(self, rng):
+        original = Tensor.from_op
+        with GraphMemoryMeter():
+            pass
+        assert Tensor.from_op is original
+
+
+class TestMemoryReport:
+    def test_totals(self):
+        report = MemoryReport(
+            parameters=100.0, gradients=100.0, optimizer_state=200.0, activations=600.0
+        )
+        assert report.total == 1000.0
+        assert report.total_megabytes == pytest.approx(1000.0 / 2**20)
+
+
+class TestParameterBytes:
+    def test_counts(self, rng):
+        model = Sequential(Linear(4, 3, bias=False, rng=rng))
+        assert parameter_bytes(model) == 4 * 3 * 8
+
+
+class TestTrainingMemory:
+    def test_snn_memory_grows_with_t(self, model_and_loader):
+        """Fig. 3b's core claim: BPTT memory ~ linear in T."""
+        model, loader = model_and_loader
+        images, labels = next(iter(loader))
+        criterion = CrossEntropyLoss()
+        reports = {}
+        for t in (2, 5):
+            conversion = convert_dnn_to_snn(
+                model, loader, ConversionConfig(timesteps=t)
+            )
+            snn = conversion.snn
+            snn.train()
+            reports[t] = training_memory(
+                snn, lambda: criterion(snn(images), labels)
+            )
+        assert reports[5].activations > 2.0 * reports[2].activations
+
+    def test_report_includes_parameter_terms(self, model_and_loader):
+        model, loader = model_and_loader
+        images, labels = next(iter(loader))
+        criterion = CrossEntropyLoss()
+        model.train()
+        report = training_memory(
+            model,
+            lambda: criterion(model(Tensor(images)), labels),
+            optimizer_state_copies=2,
+        )
+        params = parameter_bytes(model)
+        assert report.parameters == params
+        assert report.optimizer_state == 2 * params
+        assert report.activations > 0
+
+
+class TestInferenceMemory:
+    def test_dnn_report(self, model_and_loader):
+        model, _ = model_and_loader
+        report = inference_memory(model, (3, 8, 8), batch_size=4)
+        assert report.gradients == 0.0
+        assert report.activations > 0
+
+    def test_snn_nearly_t_independent(self, model_and_loader):
+        """Fig. 3b: inference memory barely moves with T."""
+        model, loader = model_and_loader
+        totals = {}
+        for t in (2, 5):
+            conversion = convert_dnn_to_snn(
+                model, loader, ConversionConfig(timesteps=t)
+            )
+            totals[t] = inference_memory(conversion.snn, (3, 8, 8), 4).total
+        assert totals[5] < 1.2 * totals[2]
+
+
+class TestTiming:
+    def test_time_callable_stats(self):
+        result = time_callable(lambda: sum(range(1000)), repeats=3, warmup=1)
+        assert len(result.samples) == 3
+        assert result.minimum <= result.mean <= result.maximum
+
+    def test_repeats_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_epoch_comparison_speedups(self):
+        comparison = EpochTimeComparison(
+            labels=["T=2", "T=5"],
+            train_seconds=[1.0, 2.4],
+            inference_seconds=[0.5, 1.2],
+        )
+        speedups = comparison.speedup_vs("T=5")
+        assert speedups == pytest.approx([2.4, 1.0])
+        with pytest.raises(KeyError):
+            comparison.speedup_vs("T=99")

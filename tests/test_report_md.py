@@ -1,0 +1,84 @@
+"""Markdown report generation from archived results."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.report_md import generate_report, write_report
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    directory = str(tmp_path / "results")
+    os.makedirs(directory)
+
+    def dump(name, payload):
+        with open(os.path.join(directory, f"{name}.json"), "w") as handle:
+            json.dump(payload, handle)
+
+    dump("table1_vgg11_cifar10", {"rows": [{
+        "architecture": "vgg11", "dataset": "cifar10", "timesteps": 2,
+        "dnn_accuracy": 99.0, "conversion_accuracy": 85.0,
+        "snn_accuracy": 95.0,
+    }]})
+    dump("table2_cifar10", {"rows": [{
+        "method": "this work", "timesteps": 2, "accuracy": 48.0,
+        "dnn_reference": 80.0,
+    }]})
+    dump("fig2_vgg16", {
+        "timesteps": [2, 4], "series": {"proposed": [40.0, 23.3]},
+    })
+    dump("fig3_cifar10", {"rows": [{
+        "timesteps": 2, "train_seconds_per_epoch": 6.9,
+        "inference_seconds_per_epoch": 2.5, "train_memory_mb": 109.0,
+        "inference_memory_mb": 16.8,
+    }]})
+    dump("fig4_cifar10", {
+        "profiles": [{
+            "label": "proposed T=2", "timesteps": 2,
+            "average_spike_rate": 0.32, "total_flops": 1.7e6,
+            "energy_joules": 8.6e-7, "energy_improvement_vs_dnn": 18.6,
+        }],
+        "dnn_total_flops": 5e6, "dnn_energy_joules": 1.6e-5,
+    })
+    dump("fig1", {"mu": 3.98})
+    return directory
+
+
+class TestGenerateReport:
+    def test_contains_all_known_sections(self, results_dir):
+        report = generate_report(results_dir)
+        for heading in ("# Benchmark results", "## Table I", "## Table II",
+                        "## Fig. 2", "## Fig. 3", "## Fig. 4"):
+            assert heading in report
+
+    def test_unknown_results_appendixed(self, results_dir):
+        report = generate_report(results_dir)
+        assert "`fig1.json`" in report
+
+    def test_rows_present(self, results_dir):
+        report = generate_report(results_dir)
+        assert "vgg11" in report
+        assert "this work" in report
+        assert "proposed T=2" in report
+
+    def test_markdown_tables_wellformed(self, results_dir):
+        report = generate_report(results_dir)
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_write_report(self, results_dir, tmp_path):
+        path = write_report(str(tmp_path / "REPORT.md"), results_dir)
+        assert os.path.exists(path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            generate_report(str(tmp_path / "nope"))
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError):
+            generate_report(str(empty))

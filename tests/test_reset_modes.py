@@ -1,0 +1,59 @@
+"""Hard vs soft membrane reset (conversion-literature comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import snn_staircase
+from repro.snn import IFNeuron, SpikingNeuron
+from repro.tensor import Tensor
+
+
+class TestResetModes:
+    def test_soft_reset_conserves_residual(self):
+        n = SpikingNeuron(v_threshold=1.0, reset_mode="soft")
+        n(Tensor(np.array([1.7])))
+        np.testing.assert_allclose(n.membrane.data, [0.7], atol=1e-12)
+
+    def test_hard_reset_discards_residual(self):
+        n = SpikingNeuron(v_threshold=1.0, reset_mode="hard")
+        n(Tensor(np.array([1.7])))
+        np.testing.assert_allclose(n.membrane.data, [0.0], atol=1e-12)
+
+    def test_hard_reset_keeps_subthreshold_membrane(self):
+        n = SpikingNeuron(v_threshold=1.0, reset_mode="hard")
+        n(Tensor(np.array([0.4])))
+        np.testing.assert_allclose(n.membrane.data, [0.4])
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SpikingNeuron(reset_mode="medium")
+
+    def test_soft_matches_staircase_hard_does_not(self):
+        """The Eq. 5 rate equivalence requires reset-by-subtraction;
+        hard reset under-counts (the classic conversion accuracy loss)."""
+        timesteps, v_th, current = 8, 1.0, 0.66
+        totals = {}
+        for mode in ("soft", "hard"):
+            n = SpikingNeuron(v_threshold=v_th, reset_mode=mode)
+            totals[mode] = sum(
+                float(n(Tensor(np.array([current]))).data[0])
+                for _ in range(timesteps)
+            )
+        expected = snn_staircase(
+            np.array([current]), timesteps, v_th
+        )[0] * timesteps
+        np.testing.assert_allclose(totals["soft"], expected, atol=1e-12)
+        assert totals["hard"] < totals["soft"]
+
+    def test_hard_reset_charge_leaks(self):
+        """Emitted + residual < injected for hard reset (charge lost)."""
+        rng = np.random.default_rng(0)
+        n = SpikingNeuron(v_threshold=0.8, reset_mode="hard")
+        currents = rng.uniform(0.5, 1.5, size=30)
+        emitted = sum(
+            float(n(Tensor(np.array([c]))).data[0]) for c in currents
+        )
+        assert emitted + float(n.membrane.data[0]) < currents.sum()
+
+    def test_default_is_soft(self):
+        assert IFNeuron().reset_mode == "soft"

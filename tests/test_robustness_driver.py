@@ -1,0 +1,53 @@
+"""Noise / adversarial robustness experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    render_adversarial_robustness,
+    render_noise_robustness,
+    run_adversarial_robustness,
+    run_noise_robustness,
+)
+
+
+class TestNoiseRobustnessDriver:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        return run_noise_robustness(
+            arch="vgg11", dataset="cifar10", scale_name="tiny",
+            timesteps=2, noise_levels=(0.0, 0.3),
+        )
+
+    def test_curves_aligned(self, result):
+        assert len(result["dnn_accuracy"]) == len(result["noise_levels"])
+        assert len(result["snn_accuracy"]) == len(result["noise_levels"])
+
+    def test_percent_ranges(self, result):
+        for curve in (result["dnn_accuracy"], result["snn_accuracy"]):
+            assert all(0.0 <= v <= 100.0 for v in curve)
+
+    def test_noise_does_not_help(self, result):
+        assert result["dnn_accuracy"][-1] <= result["dnn_accuracy"][0] + 5.0
+
+    def test_render(self, result):
+        text = render_noise_robustness(result)
+        assert "noise std" in text
+
+
+class TestAdversarialRobustnessDriver:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_context):
+        return run_adversarial_robustness(
+            arch="vgg11", dataset="cifar10", scale_name="tiny",
+            timesteps=2, epsilons=(0.0, 0.2), max_batches=1,
+        )
+
+    def test_structure(self, result):
+        assert result["epsilons"] == [0.0, 0.2]
+        assert len(result["dnn_accuracy"]) == 2
+
+    def test_attack_hurts_dnn(self, result):
+        assert result["dnn_accuracy"][1] <= result["dnn_accuracy"][0] + 1e-9
+
+    def test_render(self, result):
+        assert "FGSM" in render_adversarial_robustness(result)

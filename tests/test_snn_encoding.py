@@ -1,0 +1,69 @@
+"""Input encoder tests: direct, Poisson rate, time-to-first-spike."""
+
+import numpy as np
+import pytest
+
+from repro.snn import DirectEncoder, PoissonEncoder, TTFSEncoder
+
+
+class TestDirectEncoder:
+    def test_repeats_input(self, rng):
+        images = rng.random((2, 3, 4, 4))
+        frames = DirectEncoder()(images, 3)
+        assert len(frames) == 3
+        for frame in frames:
+            np.testing.assert_allclose(frame, images)
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            DirectEncoder()(np.zeros((1, 1, 2, 2)), 0)
+
+
+class TestPoissonEncoder:
+    def test_binary_frames(self, rng):
+        enc = PoissonEncoder(rng=rng)
+        frames = enc(rng.random((2, 1, 4, 4)), 5)
+        for frame in frames:
+            assert set(np.unique(frame)) <= {0.0, 1.0}
+
+    def test_rate_matches_intensity(self):
+        enc = PoissonEncoder(rng=np.random.default_rng(0))
+        images = np.full((1, 1, 10, 10), 0.3)
+        frames = enc(images, 500)
+        rate = np.mean(frames)
+        assert abs(rate - 0.3) < 0.02
+
+    def test_zero_pixels_never_spike(self, rng):
+        frames = PoissonEncoder(rng=rng)(np.zeros((1, 1, 4, 4)), 20)
+        assert sum(f.sum() for f in frames) == 0
+
+    def test_saturated_pixels_always_spike(self, rng):
+        frames = PoissonEncoder(rng=rng)(np.ones((1, 1, 4, 4)), 10)
+        assert all(np.all(f == 1.0) for f in frames)
+
+    def test_gain_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PoissonEncoder(gain=0.0)
+
+
+class TestTTFSEncoder:
+    def test_single_spike_per_pixel(self, rng):
+        images = rng.random((1, 1, 5, 5)) * 0.9 + 0.05
+        frames = TTFSEncoder()(images, 8)
+        total = np.sum(frames, axis=0)
+        np.testing.assert_allclose(total, 1.0)
+
+    def test_brighter_spikes_earlier(self):
+        images = np.array([[[[0.9, 0.1]]]])
+        frames = TTFSEncoder()(images, 10)
+        bright_time = next(t for t, f in enumerate(frames) if f[0, 0, 0, 0])
+        dim_time = next(t for t, f in enumerate(frames) if f[0, 0, 0, 1])
+        assert bright_time < dim_time
+
+    def test_zero_pixels_silent(self):
+        frames = TTFSEncoder()(np.zeros((1, 1, 2, 2)), 5)
+        assert sum(f.sum() for f in frames) == 0
+
+    def test_full_intensity_spikes_first(self):
+        frames = TTFSEncoder()(np.ones((1, 1, 1, 1)), 4)
+        assert frames[0][0, 0, 0, 0] == 1.0

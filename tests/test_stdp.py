@@ -1,0 +1,108 @@
+"""Pair-based STDP tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.snn import IFNeuron, STDPConfig, STDPLearner, run_stdp_session
+
+
+def make_learner(in_features=4, out_features=3, **config_kwargs):
+    layer = Linear(in_features, out_features, bias=False,
+                   rng=np.random.default_rng(0))
+    layer.weight.data[...] = 0.0
+    return STDPLearner(layer, STDPConfig(**config_kwargs))
+
+
+class TestSTDPConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            STDPConfig(lr_plus=-1.0)
+        with pytest.raises(ValueError):
+            STDPConfig(decay_pre=1.5)
+        with pytest.raises(ValueError):
+            STDPConfig(w_min=1.0, w_max=0.0)
+
+
+class TestSTDPLearner:
+    def test_coincident_pre_post_potentiates(self):
+        learner = make_learner(lr_minus=0.0)
+        pre = np.zeros((1, 4)); pre[0, 1] = 1.0
+        post = np.zeros((1, 3)); post[0, 2] = 1.0
+        learner.step(pre, post)
+        assert learner.layer.weight.data[2, 1] > 0.0
+        # untouched synapses stay zero
+        assert learner.layer.weight.data[0, 0] == 0.0
+
+    def test_post_before_pre_depresses(self):
+        learner = make_learner(lr_plus=0.0)
+        post = np.zeros((1, 3)); post[0, 0] = 1.0
+        pre = np.zeros((1, 4)); pre[0, 2] = 1.0
+        # post fires first, then pre: depression on the next step.
+        learner.step(np.zeros((1, 4)), post)
+        learner.step(pre, np.zeros((1, 3)))
+        assert learner.layer.weight.data[0, 2] < 0.0
+
+    def test_pre_before_post_potentiates_via_trace(self):
+        learner = make_learner(lr_minus=0.0)
+        pre = np.zeros((1, 4)); pre[0, 0] = 1.0
+        learner.step(pre, np.zeros((1, 3)))
+        post = np.zeros((1, 3)); post[0, 1] = 1.0
+        learner.step(np.zeros((1, 4)), post)
+        # pre trace decayed but non-zero at the post spike.
+        assert learner.layer.weight.data[1, 0] > 0.0
+
+    def test_weights_clipped(self):
+        learner = make_learner(lr_plus=100.0, lr_minus=0.0, w_max=0.5)
+        pre = np.ones((1, 4)); post = np.ones((1, 3))
+        for _ in range(5):
+            learner.step(pre, post)
+        assert learner.layer.weight.data.max() <= 0.5 + 1e-12
+
+    def test_reset_clears_traces(self):
+        learner = make_learner()
+        learner.step(np.ones((1, 4)), np.ones((1, 3)))
+        learner.reset()
+        assert learner._trace_pre is None
+
+    def test_shape_validation(self):
+        learner = make_learner()
+        with pytest.raises(ValueError):
+            learner.step(np.ones((1, 5)), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            learner.step(np.ones((1, 4)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            learner.step(np.ones((2, 4)), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            learner.step(np.ones(4), np.ones(3))
+
+    def test_rejects_non_linear(self):
+        from repro.nn import Conv2d
+
+        with pytest.raises(TypeError):
+            STDPLearner(Conv2d(1, 1, 3, rng=np.random.default_rng(0)))
+
+
+class TestSTDPSession:
+    def test_session_shapes_and_learning(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(6, 4, bias=False, rng=np.random.default_rng(1))
+        layer.weight.data[...] = 0.3  # start with firing-capable weights
+        learner = STDPLearner(layer, STDPConfig(lr_plus=5e-2, lr_minus=1e-2))
+        neuron = IFNeuron(v_threshold=0.5)
+        # Inputs where features 0-2 are co-active: their synapses onto
+        # the neurons they drive should strengthen relative to 3-5.
+        frames = np.zeros((20, 2, 6))
+        frames[:, :, :3] = (rng.random((20, 2, 3)) < 0.8).astype(float)
+        frames[:, :, 3:] = (rng.random((20, 2, 3)) < 0.05).astype(float)
+        raster = run_stdp_session(learner, neuron, frames)
+        assert raster.shape == (20, 2, 4)
+        active_mean = layer.weight.data[:, :3].mean()
+        silent_mean = layer.weight.data[:, 3:].mean()
+        assert active_mean > silent_mean
+
+    def test_session_rejects_bad_shape(self):
+        learner = make_learner()
+        neuron = IFNeuron()
+        with pytest.raises(ValueError):
+            run_stdp_session(learner, neuron, np.zeros((3, 4)))

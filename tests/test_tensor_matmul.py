@@ -1,0 +1,72 @@
+"""Matmul variants (vector/matrix/batched) and their gradients."""
+
+import numpy as np
+
+from repro.tensor import Tensor, check_gradients
+
+
+class TestMatmulForward:
+    def test_matrix_matrix(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_operator(self, rng):
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 2))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_vector_vector(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_matrix_vector(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=4)
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_vector_matrix(self, rng):
+        a, b = rng.normal(size=3), rng.normal(size=(3, 4))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_batched(self, rng):
+        a, b = rng.normal(size=(5, 3, 4)), rng.normal(size=(5, 4, 2))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+    def test_broadcast_batch(self, rng):
+        a, b = rng.normal(size=(5, 3, 4)), rng.normal(size=(4, 2))
+        np.testing.assert_allclose(Tensor(a).matmul(Tensor(b)).data, a @ b)
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_vector_vector(self, rng):
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_matrix_vector(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_vector_matrix(self, rng):
+        a = Tensor(rng.normal(size=3), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_batched(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_broadcast_batch(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])
+
+    def test_batched_matrix_vector(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        check_gradients(lambda x, y: x.matmul(y), [a, b])

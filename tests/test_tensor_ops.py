@@ -1,0 +1,272 @@
+"""Unit tests for elementwise / reduction / movement tensor ops."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    check_gradients,
+    clip,
+    concatenate,
+    dropout,
+    log_softmax,
+    maximum,
+    one_hot,
+    relu,
+    softmax,
+    stack,
+    threshold_relu,
+    unbroadcast,
+    where,
+)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_broadcasting(self):
+        out = Tensor(np.ones((2, 3))) + Tensor([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(out.data, [[2, 3, 4], [2, 3, 4]])
+
+    def test_radd_scalar(self):
+        out = 2.0 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [3.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([5.0])
+        np.testing.assert_allclose((a - 2.0).data, [3.0])
+        np.testing.assert_allclose((10.0 - a).data, [5.0])
+
+    def test_mul_div(self):
+        a = Tensor([6.0])
+        np.testing.assert_allclose((a * 2.0).data, [12.0])
+        np.testing.assert_allclose((a / 3.0).data, [2.0])
+        np.testing.assert_allclose((12.0 / a).data, [2.0])
+
+    def test_neg_pow(self):
+        a = Tensor([2.0, -3.0])
+        np.testing.assert_allclose((-a).data, [-2.0, 3.0])
+        np.testing.assert_allclose((a ** 2).data, [4.0, 9.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_add_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        check_gradients(lambda x, y: x + y, [a, b])
+
+    def test_mul_div_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 1)) + 3.0, requires_grad=True)
+        check_gradients(lambda x, y: x * y, [a, b])
+        check_gradients(lambda x, y: x / y, [a, b])
+
+    def test_pow_gradient(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(5,))) + 0.5, requires_grad=True)
+        check_gradients(lambda x: x ** 3, [a])
+
+
+class TestUnaryOps:
+    def test_exp_log_roundtrip(self, rng):
+        a = Tensor(np.abs(rng.normal(size=(4,))) + 0.1)
+        np.testing.assert_allclose(a.exp().log().data, a.data, atol=1e-10)
+
+    def test_unary_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        positive = Tensor(np.abs(rng.normal(size=(3, 3))) + 0.5, requires_grad=True)
+        check_gradients(lambda x: x.exp(), [a])
+        check_gradients(lambda x: x.log(), [positive])
+        check_gradients(lambda x: x.sqrt(), [positive])
+        check_gradients(lambda x: x.tanh(), [a])
+        check_gradients(lambda x: x.sigmoid(), [a])
+        check_gradients(lambda x: x.abs(), [a])  # no zeros in random data
+
+    def test_sigmoid_range(self, rng):
+        out = Tensor(rng.normal(size=100) * 10).sigmoid()
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)))
+        np.testing.assert_allclose(a.sum(axis=1).data, a.data.sum(axis=1))
+        np.testing.assert_allclose(
+            a.sum(axis=(0, 2), keepdims=True).data,
+            a.data.sum(axis=(0, 2), keepdims=True),
+        )
+
+    def test_mean_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(a.mean(axis=0).data, a.data.mean(axis=0))
+        np.testing.assert_allclose(a.mean().data, a.data.mean())
+
+    def test_max_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+
+    def test_var(self, rng):
+        a = Tensor(rng.normal(size=(6, 7)))
+        np.testing.assert_allclose(a.var(axis=0).data, a.data.var(axis=0), atol=1e-12)
+
+    def test_reduction_gradients(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda x: x.sum(axis=0), [a])
+        check_gradients(lambda x: x.sum(axis=(0, 1)), [a])
+        check_gradients(lambda x: x.mean(axis=1, keepdims=True), [a])
+        check_gradients(lambda x: x.max(axis=1), [a])
+        check_gradients(lambda x: x.max(), [a])
+
+    def test_max_gradient_ties_split(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_argmax(self, rng):
+        a = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_array_equal(a.argmax(axis=1), a.data.argmax(axis=1))
+
+
+class TestMovement:
+    def test_reshape_roundtrip(self, rng):
+        a = Tensor(rng.normal(size=(2, 6)), requires_grad=True)
+        check_gradients(lambda x: x.reshape(3, 4), [a])
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_transpose(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert a.T.shape == (4, 3, 2)
+        check_gradients(lambda x: x.transpose(1, 2, 0), [a])
+
+    def test_getitem(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        check_gradients(lambda x: x[1:3, ::2], [a])
+        np.testing.assert_allclose(a[0].data, a.data[0])
+
+    def test_pad2d(self, rng):
+        a = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        out = a.pad2d(2)
+        assert out.shape == (1, 2, 7, 7)
+        np.testing.assert_allclose(out.data[:, :, :2, :], 0.0)
+        check_gradients(lambda x: x.pad2d(1), [a])
+        assert a.pad2d(0) is a
+
+    def test_flatten_batch(self, rng):
+        a = Tensor(rng.normal(size=(4, 2, 3)))
+        assert a.flatten_batch().shape == (4, 6)
+
+    def test_concatenate_and_stack(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        assert concatenate([a, b], axis=0).shape == (6, 3)
+        check_gradients(lambda x, y: concatenate([x, y], axis=0), [a, b])
+        c = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        assert stack([a, c], axis=1).shape == (2, 2, 3)
+        check_gradients(lambda x, y: stack([x, y], axis=0), [a, c])
+
+
+class TestFunctionalOps:
+    def test_relu_forward_and_gradient(self, rng):
+        a = Tensor(rng.normal(size=(5, 5)), requires_grad=True)
+        np.testing.assert_allclose(relu(a).data, np.maximum(a.data, 0.0))
+        check_gradients(lambda x: relu(x), [a])
+
+    def test_threshold_relu_clip_semantics(self):
+        x = Tensor(np.array([-1.0, 0.5, 1.5, 3.0]))
+        mu = Tensor(np.array([1.0]))
+        np.testing.assert_allclose(
+            threshold_relu(x, mu).data, [0.0, 0.5, 1.0, 1.0]
+        )
+
+    def test_threshold_relu_gradients(self, rng):
+        x = Tensor(rng.normal(size=(20,)) * 2, requires_grad=True)
+        mu = Tensor(np.array([1.3]), requires_grad=True)
+        check_gradients(lambda a, m: threshold_relu(a, m), [x, mu])
+
+    def test_threshold_relu_mu_gradient_counts_saturated(self):
+        x = Tensor(np.array([0.5, 2.0, 3.0]))
+        mu = Tensor(np.array([1.0]), requires_grad=True)
+        threshold_relu(x, mu).sum().backward()
+        # two elements are clipped at mu
+        np.testing.assert_allclose(mu.grad, [2.0])
+
+    def test_clip(self, rng):
+        a = Tensor(rng.normal(size=(10,)) * 3, requires_grad=True)
+        out = clip(a, -1.0, 1.0)
+        np.testing.assert_allclose(out.data, np.clip(a.data, -1, 1))
+        check_gradients(lambda x: clip(x, -1.0, 1.0), [a])
+
+    def test_log_softmax_normalisation(self, rng):
+        a = Tensor(rng.normal(size=(4, 7)))
+        out = log_softmax(a, axis=1)
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_log_softmax_stability(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]))
+        out = log_softmax(a, axis=1)
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        check_gradients(lambda x: log_softmax(x, axis=1) * 0.7, [a])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(2, 6))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_where_and_maximum(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        cond = a.data > 0
+        np.testing.assert_allclose(
+            where(cond, a, b).data, np.where(cond, a.data, b.data)
+        )
+        check_gradients(lambda x, y: where(cond, x, y), [a, b])
+        np.testing.assert_allclose(
+            maximum(a, b).data, np.maximum(a.data, b.data)
+        )
+        check_gradients(lambda x, y: maximum(x, y), [a, b])
+
+    def test_dropout_eval_is_identity(self, rng):
+        a = Tensor(rng.normal(size=(5, 5)))
+        out = dropout(a, 0.5, rng, training=False)
+        assert out is a
+
+    def test_dropout_scales_kept_units(self, rng):
+        a = Tensor(np.ones((1000,)))
+        out = dropout(a, 0.25, rng, training=True)
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75)
+        # Expected keep rate ~ 75%
+        assert abs((out.data != 0).mean() - 0.75) < 0.06
+
+    def test_dropout_rejects_bad_p(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor([1.0]), 1.0, rng)
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+
+class TestUnbroadcast:
+    def test_prepend_axes(self):
+        grad = np.ones((2, 3, 4))
+        assert unbroadcast(grad, (3, 4)).shape == (3, 4)
+        np.testing.assert_allclose(unbroadcast(grad, (3, 4)), 2 * np.ones((3, 4)))
+
+    def test_stretched_axes(self):
+        grad = np.ones((3, 4))
+        np.testing.assert_allclose(unbroadcast(grad, (3, 1)), 4 * np.ones((3, 1)))
+
+    def test_identity(self):
+        grad = np.ones((2, 2))
+        assert unbroadcast(grad, (2, 2)) is grad

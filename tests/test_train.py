@@ -1,0 +1,210 @@
+"""Training-loop tests: DNN trainer, SNN (SGL) trainer, metrics, LSUV."""
+
+import numpy as np
+import pytest
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader
+from repro.models import vgg11
+from repro.nn import Linear, Sequential, ThresholdReLU
+from repro.snn import SpikingNetwork
+from repro.train import (
+    DNNTrainConfig,
+    DNNTrainer,
+    SNNTrainConfig,
+    SNNTrainer,
+    TrainingHistory,
+    accuracy,
+    clamp_neuron_parameters,
+    clamp_thresholds,
+    evaluate_dnn,
+    evaluate_snn,
+    top_k_accuracy,
+)
+from repro.train.lsuv import lsuv_init
+
+
+def separable_blobs(n=60, seed=0):
+    """Two linearly separable Gaussian blobs as (N, 1, 2, 2) 'images'."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=n)
+    centers = np.where(labels[:, None] == 0, -1.5, 1.5)
+    images = rng.normal(size=(n, 4)) * 0.3 + centers
+    return images.reshape(n, 1, 2, 2), labels
+
+
+def blob_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        # Flatten + small MLP with a threshold activation
+        __import__("repro.nn", fromlist=["Flatten"]).Flatten(),
+        Linear(4, 8, bias=False, rng=rng),
+        ThresholdReLU(init_threshold=2.0),
+        Linear(8, 2, bias=False, rng=rng),
+    )
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 3)), np.zeros(3))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.9, 0.08, 0.02]])
+        labels = np.array([2, 2])
+        # row 0: top-2 = {1, 2} hit; row 1: top-2 = {0, 1} miss.
+        assert top_k_accuracy(logits, labels, k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, k=3) == 1.0
+
+    def test_evaluate_dnn_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_dnn(blob_model(), [])
+
+
+class TestDNNTrainer:
+    def test_learns_separable_problem(self):
+        images, labels = separable_blobs()
+        loader = DataLoader(images, labels, batch_size=20, shuffle=True, seed=0)
+        model = blob_model()
+        trainer = DNNTrainer(DNNTrainConfig(epochs=15, lr=0.05))
+        history = trainer.fit(model, loader, loader)
+        assert history.final_test_accuracy > 0.9
+
+    def test_history_structure(self):
+        images, labels = separable_blobs(20)
+        loader = DataLoader(images, labels, batch_size=20)
+        history = DNNTrainer(DNNTrainConfig(epochs=3, lr=0.01)).fit(
+            blob_model(), loader, loader
+        )
+        assert history.epochs == [1, 2, 3]
+        assert len(history.train_loss) == 3
+        assert len(history.epoch_seconds) == 3
+        assert history.best_test_accuracy >= history.test_accuracy[0] or True
+
+    def test_lr_schedule_decays(self):
+        images, labels = separable_blobs(20)
+        loader = DataLoader(images, labels, batch_size=20)
+        history = DNNTrainer(DNNTrainConfig(epochs=10, lr=1.0)).fit(
+            blob_model(), loader, loader
+        )
+        assert history.learning_rate[-1] < history.learning_rate[0]
+
+    def test_no_test_loader(self):
+        images, labels = separable_blobs(20)
+        loader = DataLoader(images, labels, batch_size=20)
+        history = DNNTrainer(DNNTrainConfig(epochs=1, lr=0.01)).fit(
+            blob_model(), loader
+        )
+        assert np.isnan(history.test_accuracy[0])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DNNTrainConfig(epochs=0)
+
+    def test_clamp_thresholds(self):
+        model = blob_model()
+        layer = [m for m in model.modules() if isinstance(m, ThresholdReLU)][0]
+        layer.mu.data[0] = -5.0
+        clamp_thresholds(model)
+        assert layer.threshold > 0
+
+
+class TestSNNTrainer:
+    @pytest.fixture(scope="class")
+    def snn_setup(self):
+        images, labels = separable_blobs(80)
+        loader = DataLoader(images, labels, batch_size=20, shuffle=True, seed=0)
+        model = blob_model()
+        DNNTrainer(DNNTrainConfig(epochs=10, lr=0.05)).fit(model, loader)
+        conversion = convert_dnn_to_snn(
+            model, DataLoader(images, labels, batch_size=20),
+            ConversionConfig(timesteps=2),
+        )
+        return conversion.snn, loader
+
+    def test_fit_improves_or_holds_accuracy(self, snn_setup):
+        snn, loader = snn_setup
+        before = evaluate_snn(snn, loader)
+        history = SNNTrainer(SNNTrainConfig(epochs=5, lr=1e-3)).fit(snn, loader, loader)
+        assert history.final_test_accuracy >= before - 0.1
+
+    def test_sgd_option(self, snn_setup):
+        snn, loader = snn_setup
+        trainer = SNNTrainer(SNNTrainConfig(epochs=1, lr=1e-3, optimizer="sgd"))
+        history = trainer.fit(snn, loader, loader)
+        assert len(history.epochs) == 1
+
+    def test_threshold_freezing(self, snn_setup):
+        snn, loader = snn_setup
+        thresholds_before = [n.threshold for n in snn.spiking_neurons()]
+        trainer = SNNTrainer(
+            SNNTrainConfig(epochs=1, lr=1e-2, train_thresholds=False, train_leaks=False)
+        )
+        trainer.fit(snn, loader)
+        thresholds_after = [n.threshold for n in snn.spiking_neurons()]
+        np.testing.assert_allclose(thresholds_before, thresholds_after)
+
+    def test_clamp_neuron_parameters(self, snn_setup):
+        snn, _ = snn_setup
+        neuron = snn.spiking_neurons()[0]
+        neuron.v_threshold.data[0] = -1.0
+        neuron.leak.data[0] = 2.0
+        clamp_neuron_parameters(snn)
+        assert neuron.threshold > 0
+        assert neuron.leak_value <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SNNTrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            SNNTrainConfig(optimizer="rmsprop")
+
+
+class TestHistory:
+    def test_empty_history_raises(self):
+        history = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = history.best_test_accuracy
+        with pytest.raises(ValueError):
+            _ = history.mean_epoch_seconds
+
+    def test_record_and_aggregates(self):
+        history = TrainingHistory()
+        history.record(1, 0.5, 0.6, 0.7, 0.01, 2.0)
+        history.record(2, 0.4, 0.7, 0.8, 0.01, 4.0)
+        assert history.best_test_accuracy == 0.8
+        assert history.final_test_accuracy == 0.8
+        assert history.mean_epoch_seconds == 3.0
+
+
+class TestLSUV:
+    def test_unit_output_std(self, rng):
+        model = vgg11(
+            num_classes=5, image_size=8, width_multiplier=0.125,
+            rng=np.random.default_rng(0),
+        )
+        stds = lsuv_init(model, rng.normal(size=(16, 3, 8, 8)))
+        # All but perhaps the last couple of layers should be near 1.
+        assert np.all(np.abs(np.asarray(stds) - 1.0) < 0.2)
+
+    def test_preserves_forward_patching(self, rng):
+        model = vgg11(
+            num_classes=5, image_size=8, width_multiplier=0.125,
+            rng=np.random.default_rng(0),
+        )
+        lsuv_init(model, rng.normal(size=(8, 3, 8, 8)))
+        from repro.tensor import Tensor
+
+        out = model(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 5)
+
+    def test_rejects_no_weight_layers(self, rng):
+        from repro.nn import Sequential, ReLU
+
+        with pytest.raises(ValueError):
+            lsuv_init(Sequential(ReLU()), rng.normal(size=(2, 3, 4, 4)))
