@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench quicktest examples clean
+.PHONY: install test bench quicktest smoke examples clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,11 @@ quicktest:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Tiny instrumented convert+evaluate pipeline; fails unless a non-empty
+# trace with the expected spans and spike-rate histograms is produced.
+smoke:
+	PYTHONPATH=src python -m repro.obs.smoke
 
 examples:
 	python examples/quickstart.py

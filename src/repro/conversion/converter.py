@@ -27,6 +27,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..models.resnet import BasicBlock
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..nn import (
     AvgPool2d,
     Conv2d,
@@ -228,12 +230,16 @@ def convert_dnn_to_snn(
     encoder:
         Input encoder for the SNN (default: direct encoding).
     """
-    stats = collect_activation_stats(
-        model,
-        calibration_batches,
-        max_batches=config.calibration_batches,
-        max_samples_per_layer=config.max_samples_per_layer,
-    )
+    with trace.span(
+        "calibration", batches=config.calibration_batches
+    ) as span:
+        stats = collect_activation_stats(
+            model,
+            calibration_batches,
+            max_batches=config.calibration_batches,
+            max_samples_per_layer=config.max_samples_per_layer,
+        )
+        span.set(layers=len(stats), samples=sum(s.count for s in stats))
     expected = len(activation_layers(model))
     if len(stats) != expected:
         raise RuntimeError("calibration returned wrong number of layer stats")
@@ -241,12 +247,23 @@ def convert_dnn_to_snn(
         config.strategy, stats, config.timesteps, **config.strategy_kwargs
     )
 
-    cursor = _SpecCursor(specs, config)
-    body = _build_spiking(model, cursor)
-    cursor.assert_exhausted()
-    snn = SpikingNetwork(body, timesteps=config.timesteps, encoder=encoder)
-    if config.absorb_beta:
-        absorb_beta(snn)
+    with trace.span(
+        "conversion", strategy=config.strategy, timesteps=config.timesteps
+    ):
+        for index, (layer_stats, spec) in enumerate(zip(stats, specs)):
+            obs_metrics.gauge("conversion.mu", layer_stats.mu, layer=index)
+            obs_metrics.gauge("conversion.d_max", layer_stats.d_max, layer=index)
+            obs_metrics.gauge("conversion.alpha", spec.alpha, layer=index)
+            obs_metrics.gauge("conversion.beta", spec.beta, layer=index)
+            obs_metrics.gauge(
+                "conversion.v_threshold", spec.v_threshold, layer=index
+            )
+        cursor = _SpecCursor(specs, config)
+        body = _build_spiking(model, cursor)
+        cursor.assert_exhausted()
+        snn = SpikingNetwork(body, timesteps=config.timesteps, encoder=encoder)
+        if config.absorb_beta:
+            absorb_beta(snn)
     return ConversionResult(snn=snn, stats=stats, specs=specs, config=config)
 
 

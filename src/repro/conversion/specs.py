@@ -28,6 +28,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .activation_stats import LayerActivationStats
 from .algorithm1 import ScalingFactors, compute_loss, find_scaling_factors
 
@@ -56,14 +58,24 @@ def proposed_specs(
 ) -> List[NeuronSpec]:
     """The paper's conversion: per-layer Algorithm-1 search."""
     specs = []
-    for layer_stats in stats:
-        factors: ScalingFactors = find_scaling_factors(
-            layer_stats.percentiles,
-            layer_stats.mu,
-            timesteps,
-            beta_max=beta_max,
-            beta_step=beta_step,
-        )
+    for index, layer_stats in enumerate(stats):
+        with trace.span("algorithm1", layer=index, mu=layer_stats.mu) as span:
+            factors: ScalingFactors = find_scaling_factors(
+                layer_stats.percentiles,
+                layer_stats.mu,
+                timesteps,
+                beta_max=beta_max,
+                beta_step=beta_step,
+            )
+            span.set(
+                alpha=factors.alpha,
+                beta=factors.beta,
+                residual=factors.loss,
+                evaluations=factors.evaluations,
+            )
+        # Delta_{alpha beta} residual at the optimum, plus search effort.
+        obs_metrics.observe("algorithm1.residual", factors.loss, layer=index)
+        obs_metrics.inc("algorithm1.evaluations", factors.evaluations)
         specs.append(
             NeuronSpec(
                 v_threshold=factors.alpha * layer_stats.mu,

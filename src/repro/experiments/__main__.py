@@ -20,6 +20,10 @@ from __future__ import annotations
 
 import argparse
 
+from ..obs import configure as obs_configure
+from ..obs import console
+from ..obs import shutdown as obs_shutdown
+
 from . import (
     render_fig1,
     render_noise_robustness,
@@ -62,26 +66,40 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-save", action="store_true",
                         help="skip writing results/<experiment>.json")
+    parser.add_argument("--trace", metavar="RUN_DIR", default=None,
+                        help="enable observability; write events/trace/"
+                             "metrics JSONL into RUN_DIR")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        obs_configure(run_dir=args.trace, experiment=args.experiment)
+    try:
+        return _run(args)
+    finally:
+        if args.trace:
+            obs_shutdown()
+            console(f"trace written to {args.trace}")
+
+
+def _run(args) -> int:
     if args.experiment == "report":
         from .report_md import write_report
 
         path = write_report()
-        print(f"wrote {path}")
+        console(f"wrote {path}")
         return 0
 
     if args.experiment == "table1":
         rows = run_table1(scale_name=args.scale)
-        print(render_table1(rows))
+        console(render_table1(rows))
         payload = {"rows": rows}
     elif args.experiment == "table2":
         rows = run_table2(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
-        print(render_table2(rows))
+        console(render_table2(rows))
         payload = {"rows": rows}
     elif args.experiment == "fig1":
         result = run_fig1(scale_name=args.scale, dataset=args.dataset, seed=args.seed)
-        print(render_fig1(result))
+        console(render_fig1(result))
         payload = {
             key: result[key]
             for key in ("mu", "d_max", "alpha", "beta", "k_mu", "h_t_mu")
@@ -91,38 +109,38 @@ def main(argv=None) -> int:
             arch=args.arch, dataset=args.dataset,
             scale_name=args.scale, seed=args.seed,
         )
-        print(render_fig2(result))
+        console(render_fig2(result))
         payload = result
     elif args.experiment == "fig3":
         result = run_fig3(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
-        print(render_fig3(result))
+        console(render_fig3(result))
         payload = result
     elif args.experiment == "fig4":
         result = run_fig4(dataset=args.dataset, scale_name=args.scale, seed=args.seed)
-        print(render_fig4(result))
+        console(render_fig4(result))
         payload = result
     elif args.experiment == "robustness":
         result = run_noise_robustness(
             arch=args.arch, dataset=args.dataset,
             scale_name=args.scale, seed=args.seed,
         )
-        print(render_noise_robustness(result))
+        console(render_noise_robustness(result))
         payload = result
     else:
         rows = run_scaling_ablation(
             dataset=args.dataset, scale_name=args.scale, seed=args.seed
         )
-        print(render_scaling_ablation(rows))
+        console(render_scaling_ablation(rows))
         latency = run_latency_ablation(
             dataset=args.dataset, scale_name=args.scale, seed=args.seed
         )
-        print()
-        print(render_latency_ablation(latency))
+        console()
+        console(render_latency_ablation(latency))
         payload = {"scaling": rows, "latency": latency}
 
     if not args.no_save:
         path = save_results(f"cli_{args.experiment}", payload)
-        print(f"\nsaved: {path}")
+        console(f"\nsaved: {path}")
     return 0
 
 

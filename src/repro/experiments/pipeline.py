@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..conversion import ConversionConfig, ConversionResult, convert_dnn_to_snn
+from ..obs import metrics as obs_metrics
+from ..obs import monitored, trace
 from ..snn import SpikingNetwork
 from ..train import SNNTrainConfig, SNNTrainer, TrainingHistory, evaluate_snn
 from .config import ExperimentConfig
@@ -79,23 +81,47 @@ def run_pipeline(
     if key in _SNN_CACHE:
         return _SNN_CACHE[key]
 
-    context = get_context(config, verbose=verbose)
-    conversion = convert_only(config, strategy=strategy, context=context)
-    test_loader = context.test_loader()
-    conversion_accuracy = evaluate_snn(conversion.snn, test_loader)
+    with trace.span(
+        "run_pipeline",
+        arch=config.arch,
+        dataset=config.dataset,
+        timesteps=config.timesteps,
+        strategy=strategy,
+    ) as pipeline_span:
+        context = get_context(config, verbose=verbose)
+        conversion = convert_only(config, strategy=strategy, context=context)
+        test_loader = context.test_loader()
+        # Post-conversion evaluation doubles as the spiking-activity
+        # measurement pass: per-layer spike-rate and membrane-potential
+        # histograms land in the metrics registry (Fig. 4 quantities).
+        with trace.span("snn_eval", phase="post_conversion") as eval_span:
+            with monitored(conversion.snn, prefix="snn"):
+                conversion_accuracy = evaluate_snn(conversion.snn, test_loader)
+            eval_span.set(accuracy=conversion_accuracy)
 
-    history = None
-    if fine_tune:
-        trainer = SNNTrainer(
-            SNNTrainConfig(epochs=config.scale.snn_epochs, lr=snn_lr)
+        history = None
+        if fine_tune:
+            trainer = SNNTrainer(
+                SNNTrainConfig(epochs=config.scale.snn_epochs, lr=snn_lr)
+            )
+            with trace.span("sgl_finetune", epochs=config.scale.snn_epochs):
+                history = trainer.fit(
+                    conversion.snn,
+                    context.train_loader(seed=config.seed + 2),
+                    test_loader,
+                    verbose=verbose,
+                )
+        with trace.span("snn_eval", phase="final") as eval_span:
+            snn_accuracy = evaluate_snn(conversion.snn, test_loader)
+            eval_span.set(accuracy=snn_accuracy)
+        pipeline_span.set(
+            dnn_accuracy=context.dnn_accuracy,
+            conversion_accuracy=conversion_accuracy,
+            snn_accuracy=snn_accuracy,
         )
-        history = trainer.fit(
-            conversion.snn,
-            context.train_loader(seed=config.seed + 2),
-            test_loader,
-            verbose=verbose,
-        )
-    snn_accuracy = evaluate_snn(conversion.snn, test_loader)
+        obs_metrics.gauge("pipeline.dnn_accuracy", context.dnn_accuracy)
+        obs_metrics.gauge("pipeline.conversion_accuracy", conversion_accuracy)
+        obs_metrics.gauge("pipeline.snn_accuracy", snn_accuracy)
 
     result = PipelineResult(
         config=config,

@@ -1,0 +1,85 @@
+"""Observability: structured logging, tracing spans, metrics, monitors.
+
+Disabled by default — until :func:`configure` (or ``with observe(...)``)
+starts a run, every instrument in the library short-circuits on a single
+boolean check.  One observed run writes three artefacts into its run
+directory:
+
+- ``events.jsonl``  — structured log records and captured CLI output;
+- ``trace.jsonl``   — closed tracing spans (a nested timeline);
+- ``metrics.json``  — counters / gauges / histograms snapshot.
+
+Quick start::
+
+    from repro.obs import observe, trace, metrics, get_logger
+
+    with observe("results/run_1", arch="vgg16"):
+        with trace.span("convert", timesteps=2):
+            ...
+        metrics.observe("snn.spike_rate", 0.12, layer=3)
+        get_logger("demo").info("done")
+
+then ``python -m repro.obs.report results/run_1`` renders the run.
+"""
+
+from . import metrics, trace
+from .core import (
+    configure,
+    flush_metrics,
+    is_enabled,
+    observe,
+    shutdown,
+    state,
+)
+from .instruments import (
+    StepMonitor,
+    measure_inference_memory,
+    measure_training_memory,
+    monitored,
+    record_spike_profile,
+    timed,
+)
+from .logging import Logger, console, get_logger, set_console_level
+from .metrics import MetricsRegistry, get_registry, reset_registry
+
+
+def load_run(run_dir):
+    """Lazy alias for :func:`repro.obs.report.load_run` (kept out of the
+    eager imports so ``python -m repro.obs.report`` stays warning-free)."""
+    from .report import load_run as _load_run
+
+    return _load_run(run_dir)
+
+
+def render_report(data):
+    """Lazy alias for :func:`repro.obs.report.render_report`."""
+    from .report import render_report as _render_report
+
+    return _render_report(data)
+
+
+__all__ = [
+    "Logger",
+    "MetricsRegistry",
+    "StepMonitor",
+    "configure",
+    "console",
+    "flush_metrics",
+    "get_logger",
+    "get_registry",
+    "is_enabled",
+    "load_run",
+    "measure_inference_memory",
+    "measure_training_memory",
+    "metrics",
+    "monitored",
+    "observe",
+    "record_spike_profile",
+    "render_report",
+    "reset_registry",
+    "set_console_level",
+    "shutdown",
+    "state",
+    "timed",
+    "trace",
+]

@@ -1,0 +1,196 @@
+"""Run-scoped observability state.
+
+One process hosts at most one *observed run* at a time: a run directory
+(optional), a run id, and run-scoped context fields that are merged
+into every emitted event.  The whole subsystem is **disabled by
+default** — every hot-path entry point checks a single attribute read
+(:func:`is_enabled`) and returns immediately, so instrumented code pays
+essentially nothing when observability is off.
+
+Sinks
+-----
+With a ``run_dir`` configured, events stream to JSONL files as they
+happen (one JSON object per line, crash-safe because each line is
+flushed):
+
+- ``events.jsonl`` — structured log records (:mod:`repro.obs.logging`);
+- ``trace.jsonl``  — completed spans (:mod:`repro.obs.trace`);
+- ``metrics.json`` — the metrics registry snapshot, written by
+  :func:`shutdown` / :func:`flush_metrics`.
+
+Without a ``run_dir`` the same records accumulate in memory
+(``state.events`` / ``state.spans``), which is what the tests use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, List, Optional
+
+_RUN_COUNTER = 0
+
+
+class ObsState:
+    """Mutable global observability state (one instance per process)."""
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.run_dir: Optional[str] = None
+        self.run_id: Optional[str] = None
+        self.context: dict = {}
+        # In-memory sinks (always populated when enabled; mirrors files).
+        self.events: List[dict] = []
+        self.spans: List[dict] = []
+        # Keep the in-memory mirrors bounded for long runs.
+        self.max_buffered: int = 100_000
+        self._events_fp: Optional[IO[str]] = None
+        self._trace_fp: Optional[IO[str]] = None
+
+
+_STATE = ObsState()
+
+
+def state() -> ObsState:
+    """The process-global observability state (mostly for tests)."""
+    return _STATE
+
+
+def is_enabled() -> bool:
+    """Cheap hot-path check: is an observed run active?"""
+    return _STATE.enabled
+
+
+def configure(
+    run_dir: Optional[str] = None,
+    enabled: bool = True,
+    **context,
+) -> ObsState:
+    """Start an observed run.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory for the JSONL sinks (created if missing).  ``None``
+        keeps everything in memory.
+    enabled:
+        Master switch; ``configure(enabled=False)`` is equivalent to
+        :func:`shutdown`.
+    context:
+        Run-scoped fields merged into every event (e.g. ``arch=...``).
+    """
+    global _RUN_COUNTER
+    shutdown()
+    if not enabled:
+        return _STATE
+    _RUN_COUNTER += 1
+    _STATE.run_id = f"run-{os.getpid()}-{_RUN_COUNTER}"
+    _STATE.context = dict(context)
+    _STATE.run_dir = run_dir
+    _STATE.events = []
+    _STATE.spans = []
+    if run_dir is not None:
+        os.makedirs(run_dir, exist_ok=True)
+        _STATE._events_fp = open(
+            os.path.join(run_dir, "events.jsonl"), "a", encoding="utf-8"
+        )
+        _STATE._trace_fp = open(
+            os.path.join(run_dir, "trace.jsonl"), "a", encoding="utf-8"
+        )
+    _STATE.enabled = True
+    emit_event(
+        {"kind": "run_start", "ts": time.time(), "run_id": _STATE.run_id}
+    )
+    return _STATE
+
+
+def shutdown() -> None:
+    """End the observed run: dump metrics, close sinks, disable."""
+    if _STATE.enabled:
+        emit_event(
+            {"kind": "run_end", "ts": time.time(), "run_id": _STATE.run_id}
+        )
+        flush_metrics()
+    for name in ("_events_fp", "_trace_fp"):
+        fp = getattr(_STATE, name)
+        if fp is not None:
+            fp.close()
+            setattr(_STATE, name, None)
+    # The in-memory mirrors survive shutdown so a finished run stays
+    # inspectable; the next configure() starts them fresh.
+    _STATE.enabled = False
+    _STATE.run_dir = None
+    _STATE.run_id = None
+    _STATE.context = {}
+
+
+def flush_metrics() -> Optional[str]:
+    """Write the global metrics registry snapshot to ``metrics.json``.
+
+    Returns the path written, or ``None`` when no run directory is
+    configured (the in-memory registry remains queryable either way).
+    """
+    if not _STATE.enabled or _STATE.run_dir is None:
+        return None
+    from .metrics import get_registry
+
+    path = os.path.join(_STATE.run_dir, "metrics.json")
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(get_registry().snapshot(), fp, indent=2, sort_keys=True)
+    return path
+
+
+class observe:
+    """Context manager sugar: ``with observe(run_dir): ...``."""
+
+    def __init__(self, run_dir: Optional[str] = None, **context) -> None:
+        self._run_dir = run_dir
+        self._context = context
+
+    def __enter__(self) -> ObsState:
+        return configure(run_dir=self._run_dir, **self._context)
+
+    def __exit__(self, *exc_info) -> None:
+        shutdown()
+
+
+def _write_line(fp: Optional[IO[str]], record: dict) -> None:
+    if fp is not None:
+        fp.write(json.dumps(record, default=_json_default) + "\n")
+        fp.flush()
+
+
+def _json_default(value):
+    """Fallback encoder: numpy scalars/arrays and arbitrary objects."""
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return repr(value)
+
+
+def _buffer(buffer: List[dict], record: dict) -> None:
+    buffer.append(record)
+    if len(buffer) > _STATE.max_buffered:
+        del buffer[: len(buffer) // 2]
+
+
+def emit_event(record: dict) -> None:
+    """Record one log/console event (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    if _STATE.context:
+        record = {**_STATE.context, **record}
+    _buffer(_STATE.events, record)
+    _write_line(_STATE._events_fp, record)
+
+
+def emit_span(record: dict) -> None:
+    """Record one completed span (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    if _STATE.context:
+        record = {**_STATE.context, **record}
+    _buffer(_STATE.spans, record)
+    _write_line(_STATE._trace_fp, record)

@@ -1,0 +1,115 @@
+"""Structured logger with levels, named loggers and JSONL events.
+
+``get_logger("dnn").info("epoch done", epoch=3, loss=0.41)`` does two
+independent things:
+
+- prints a human-readable line (``[dnn] epoch done epoch=3 loss=0.41``)
+  to stdout when the record's level clears the console threshold;
+- appends a structured JSON record to the run's ``events.jsonl`` when
+  observability is enabled.
+
+The console threshold defaults to INFO and is independent of the
+enabled switch, so library code that logs at DEBUG stays silent on the
+console (but is still captured in the run's event stream), matching the
+old behaviour where progress lines only appeared under ``verbose=True``.
+
+:func:`console` is the replacement for CLI ``print()`` calls: it writes
+its text to stdout verbatim *and* records it as a ``console`` event, so
+a traced CLI run keeps a copy of everything it showed the user.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional
+
+from .core import _STATE, emit_event
+
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_LEVELS = {name: value for value, name in LEVEL_NAMES.items()}
+
+_console_level = INFO
+_loggers: Dict[str, "Logger"] = {}
+
+
+def level_value(level) -> int:
+    """Accept either a numeric level or a name like ``"info"``."""
+    if isinstance(level, str):
+        try:
+            return _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level '{level}'; one of {sorted(_LEVELS)}"
+            ) from None
+    return int(level)
+
+
+def set_console_level(level) -> None:
+    """Threshold for human-readable console output (default INFO)."""
+    global _console_level
+    _console_level = level_value(level)
+
+
+def get_console_level() -> int:
+    return _console_level
+
+
+class Logger:
+    """A named structured logger."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def log(self, level, message: str, **fields) -> None:
+        level = level_value(level)
+        if level >= _console_level:
+            print(f"[{self.name}] {message}", file=sys.stdout)
+        if _STATE.enabled:
+            emit_event(
+                {
+                    "kind": "log",
+                    "ts": time.time(),
+                    "level": LEVEL_NAMES.get(level, str(level)),
+                    "logger": self.name,
+                    "message": message,
+                    **({"fields": fields} if fields else {}),
+                }
+            )
+
+    def debug(self, message: str, **fields) -> None:
+        self.log(DEBUG, message, **fields)
+
+    def info(self, message: str, **fields) -> None:
+        self.log(INFO, message, **fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self.log(WARNING, message, **fields)
+
+    def error(self, message: str, **fields) -> None:
+        self.log(ERROR, message, **fields)
+
+
+def get_logger(name: str) -> Logger:
+    """Fetch (or create) the logger registered under ``name``."""
+    logger = _loggers.get(name)
+    if logger is None:
+        logger = _loggers[name] = Logger(name)
+    return logger
+
+
+def console(text: str = "", logger: Optional[str] = None) -> None:
+    """CLI output: print ``text`` verbatim and record it as an event."""
+    print(text)
+    if _STATE.enabled:
+        emit_event(
+            {
+                "kind": "console",
+                "ts": time.time(),
+                **({"logger": logger} if logger else {}),
+                "text": text,
+            }
+        )

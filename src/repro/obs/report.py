@@ -1,0 +1,212 @@
+"""Render an observed run directory as a markdown report.
+
+    python -m repro.obs.report results/run_2/            # to stdout
+    python -m repro.obs.report results/run_2/ --out REPORT.md
+
+Reads the run's ``trace.jsonl`` (spans), ``metrics.json`` (registry
+snapshot) and ``events.jsonl`` (log records) — any subset may be
+missing — and renders the span tree with durations plus counter /
+gauge / histogram tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunData:
+    """Everything read back from one run directory."""
+
+    run_dir: str
+    spans: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+def _read_jsonl(path: str) -> List[dict]:
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_run(run_dir: str) -> RunData:
+    """Load spans, events and the metrics snapshot from ``run_dir``."""
+    if not os.path.isdir(run_dir):
+        raise FileNotFoundError(f"run directory not found: {run_dir}")
+    data = RunData(run_dir=run_dir)
+    data.spans = _read_jsonl(os.path.join(run_dir, "trace.jsonl"))
+    data.events = _read_jsonl(os.path.join(run_dir, "events.jsonl"))
+    metrics_path = os.path.join(run_dir, "metrics.json")
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as fp:
+            data.metrics = json.load(fp)
+    return data
+
+
+def _span_tree_rows(spans: List[dict]) -> List[dict]:
+    """Spans in depth-first tree order (they are stored close-ordered)."""
+    by_parent: Dict[Optional[int], List[dict]] = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.get("started_at", 0.0))
+
+    ordered: List[dict] = []
+
+    def visit(parent_id: Optional[int]) -> None:
+        for span in by_parent.get(parent_id, []):
+            ordered.append(span)
+            visit(span.get("span_id"))
+
+    visit(None)
+    # Orphans (parent span never closed, e.g. crashed run) go last.
+    seen = {id(s) for s in ordered}
+    ordered.extend(s for s in spans if id(s) not in seen)
+    return ordered
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def _fields_cell(span: dict) -> str:
+    fields = span.get("fields") or {}
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return ", ".join(parts)
+
+
+def render_report(data: RunData) -> str:
+    """The full markdown report of one run."""
+    lines = [f"# Run report — `{data.run_dir}`", ""]
+
+    lines.append(f"## Spans ({len(data.spans)})")
+    lines.append("")
+    if data.spans:
+        lines.append("| span | duration | status | fields |")
+        lines.append("| --- | ---: | --- | --- |")
+        for span in _span_tree_rows(data.spans):
+            indent = "&nbsp;&nbsp;" * int(span.get("depth", 0))
+            name = f"{indent}{span.get('name', '?')}"
+            lines.append(
+                f"| {name} | {_format_duration(span.get('duration_s'))} "
+                f"| {span.get('status', '?')} | {_fields_cell(span)} |"
+            )
+    else:
+        lines.append("_no spans recorded_")
+    lines.append("")
+
+    counters = data.metrics.get("counters", {})
+    gauges = data.metrics.get("gauges", {})
+    histograms = data.metrics.get("histograms", {})
+
+    lines.append("## Metrics")
+    lines.append("")
+    if counters:
+        lines.append("### Counters")
+        lines.append("")
+        lines.append("| counter | value |")
+        lines.append("| --- | ---: |")
+        for name, value in counters.items():
+            lines.append(f"| {name} | {value:g} |")
+        lines.append("")
+    if gauges:
+        lines.append("### Gauges")
+        lines.append("")
+        lines.append("| gauge | last | writes |")
+        lines.append("| --- | ---: | ---: |")
+        for name, payload in gauges.items():
+            value = payload.get("value")
+            value_text = f"{value:.6g}" if isinstance(value, (int, float)) else "-"
+            lines.append(
+                f"| {name} | {value_text} | {len(payload.get('trajectory', []))} |"
+            )
+        lines.append("")
+    if histograms:
+        lines.append("### Histograms")
+        lines.append("")
+        lines.append("| histogram | count | mean | std | min | p50 | p95 | max |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | ---: | ---: | ---: |")
+        for name, payload in histograms.items():
+            def cell(key):
+                value = payload.get(key)
+                return f"{value:.4g}" if isinstance(value, (int, float)) else "-"
+
+            lines.append(
+                f"| {name} | {payload.get('count', 0)} | {cell('mean')} "
+                f"| {cell('std')} | {cell('min')} | {cell('p50')} "
+                f"| {cell('p95')} | {cell('max')} |"
+            )
+        lines.append("")
+    if not (counters or gauges or histograms):
+        lines.append("_no metrics recorded_")
+        lines.append("")
+
+    log_events = [e for e in data.events if e.get("kind") == "log"]
+    lines.append(f"## Events ({len(data.events)} total, {len(log_events)} log)")
+    lines.append("")
+    by_level: Dict[str, int] = {}
+    for event in log_events:
+        level = event.get("level", "?")
+        by_level[level] = by_level.get(level, 0) + 1
+    if by_level:
+        lines.append(
+            ", ".join(f"{level}: {count}" for level, count in sorted(by_level.items()))
+        )
+        lines.append("")
+    errors = [e for e in log_events if e.get("level") == "error"]
+    if errors:
+        lines.append("### Errors")
+        lines.append("")
+        for event in errors[-10:]:
+            lines.append(f"- `{event.get('logger', '?')}`: {event.get('message', '')}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise an observed run directory as markdown.",
+    )
+    parser.add_argument("run_dir", help="directory written by repro.obs.configure")
+    parser.add_argument("--out", default=None, help="write to this file (default: stdout)")
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_run(args.run_dir)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    report = render_report(data)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            fp.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Instrumented end-to-end smoke run (``make smoke``).
+
+Trains a micro DNN, converts it, evaluates the SNN — all under an
+observed run — then asserts that the run directory contains a non-empty
+span timeline covering calibration → Algorithm 1 → conversion → SNN
+evaluation, and prints the rendered report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import replace
+
+REQUIRED_SPANS = {"run_pipeline", "calibration", "algorithm1", "conversion", "snn_eval"}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.smoke",
+        description="Tiny instrumented convert+evaluate pipeline.",
+    )
+    parser.add_argument("--run-dir", default=os.path.join("results", "smoke_run"))
+    parser.add_argument("--report", action="store_true",
+                        help="print the rendered markdown report")
+    args = parser.parse_args(argv)
+
+    from ..experiments.config import SCALES, ExperimentConfig
+    from ..experiments.context import clear_context_cache
+    from ..experiments.pipeline import clear_pipeline_cache, run_pipeline
+    from . import load_run, observe, render_report
+
+    scale = replace(
+        SCALES["tiny"],
+        name="smoke",
+        image_size=8,
+        train_size=60,
+        test_size=30,
+        width_multiplier=0.125,
+        batch_size=30,
+        dnn_epochs=2,
+        snn_epochs=1,
+        calibration_batches=1,
+    )
+    config = ExperimentConfig(
+        arch="vgg11", dataset="cifar10", timesteps=2, scale=scale
+    )
+    clear_context_cache()
+    clear_pipeline_cache()
+
+    # Run directories append across runs; a smoke check wants a fresh
+    # timeline so the assertions below see exactly one pipeline.
+    for artefact in ("trace.jsonl", "events.jsonl", "metrics.json"):
+        path = os.path.join(args.run_dir, artefact)
+        if os.path.exists(path):
+            os.remove(path)
+
+    with observe(args.run_dir, smoke=True):
+        result = run_pipeline(config, fine_tune=False)
+
+    trace_path = os.path.join(args.run_dir, "trace.jsonl")
+    if not os.path.exists(trace_path) or os.path.getsize(trace_path) == 0:
+        print(f"SMOKE FAILED: empty or missing trace file {trace_path}")
+        return 1
+    run = load_run(args.run_dir)
+    names = {span.get("name") for span in run.spans}
+    missing = REQUIRED_SPANS - names
+    if missing:
+        print(f"SMOKE FAILED: trace is missing spans {sorted(missing)}")
+        return 1
+    spike_histograms = [
+        name
+        for name in run.metrics.get("histograms", {})
+        if name.startswith("snn.spike_rate")
+    ]
+    if not spike_histograms:
+        print("SMOKE FAILED: no per-layer spike-rate histograms recorded")
+        return 1
+
+    if args.report:
+        print(render_report(run))
+    print(
+        f"smoke ok: {len(run.spans)} spans, "
+        f"{len(spike_histograms)} spike-rate histograms, "
+        f"dnn={result.dnn_accuracy:.3f} "
+        f"conversion={result.conversion_accuracy:.3f} "
+        f"(trace: {trace_path})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

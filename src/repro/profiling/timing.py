@@ -9,6 +9,7 @@ layer pipeline — is hardware-independent.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable, List
@@ -25,6 +26,22 @@ class TimingResult:
         return sum(self.samples) / len(self.samples)
 
     @property
+    def median(self) -> float:
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the samples."""
+        mean = self.mean
+        return math.sqrt(
+            sum((s - mean) ** 2 for s in self.samples) / len(self.samples)
+        )
+
+    @property
     def minimum(self) -> float:
         return min(self.samples)
 
@@ -37,6 +54,8 @@ def time_callable(fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> 
     """Time ``fn`` ``repeats`` times after ``warmup`` discarded runs."""
     if repeats <= 0:
         raise ValueError("repeats must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
     for _ in range(warmup):
         fn()
     samples = []

@@ -191,6 +191,20 @@ class SpikingNetwork(SpikingModule):
         # steps (the paper's choice); "max" takes the elementwise max
         # over steps; "last" reads only the final step.
         self.output_mode = output_mode
+        # Per-timestep observer (repro.obs.instruments.StepMonitor);
+        # None keeps the temporal loop on its fast path.
+        self._step_monitor = None
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_monitor(self, monitor) -> None:
+        """Install an object whose ``on_step(step, network)`` is called
+        after every simulated time step (see ``repro.obs.monitored``)."""
+        self._step_monitor = monitor
+
+    def detach_monitor(self) -> None:
+        self._step_monitor = None
 
     def forward(self, images) -> Tensor:
         self.reset_state()
@@ -209,8 +223,10 @@ class SpikingNetwork(SpikingModule):
         from ..tensor import maximum
 
         total: Optional[Tensor] = None
-        for frame in frames:
+        for step, frame in enumerate(frames):
             out = self.body(frame)
+            if self._step_monitor is not None:
+                self._step_monitor.on_step(step, self)
             if self.output_mode == "mean":
                 total = out if total is None else total + out
             elif self.output_mode == "max":

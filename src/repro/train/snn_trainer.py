@@ -20,6 +20,9 @@ from typing import Optional
 import numpy as np
 
 from ..nn import CrossEntropyLoss
+from ..obs import get_logger
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..optim import SGD, Adam, MultiStepLR, paper_milestones
 from ..snn import SpikingNetwork, SpikingNeuron
 from .history import TrainingHistory
@@ -27,6 +30,8 @@ from .metrics import evaluate_snn
 from .trainer import MIN_THRESHOLD
 
 MIN_LEAK, MAX_LEAK = 0.0, 1.0
+
+_log = get_logger("snn")
 
 
 @dataclass
@@ -140,50 +145,69 @@ class SNNTrainer:
     ) -> None:
         cfg = self.config
         for epoch in range(1, cfg.epochs + 1):
-            started = time.perf_counter()
-            snn.train()
-            losses, correct, seen = [], 0, 0
-            for images, labels in train_batches_factory:
-                optimizer.zero_grad()
-                images = np.asarray(images)
-                if cfg.input_noise_std > 0:
-                    images = images + noise_rng.normal(
-                        0.0, cfg.input_noise_std, size=images.shape
-                    )
-                if regularizer is not None:
-                    regularizer.reset()
-                logits = snn(images)
-                loss = self.criterion(logits, labels)
-                if regularizer is not None:
-                    penalty = regularizer.penalty()
-                    if penalty is not None:
-                        loss = loss + penalty
-                loss.backward()
-                optimizer.step()
-                clamp_neuron_parameters(snn)
-                losses.append(loss.item())
-                correct += int((logits.data.argmax(axis=1) == labels).sum())
-                seen += len(labels)
-            elapsed = time.perf_counter() - started
+            with trace.span(
+                "snn_epoch", epoch=epoch, timesteps=snn.timesteps
+            ) as span:
+                started = time.perf_counter()
+                snn.train()
+                losses, correct, seen = [], 0, 0
+                for images, labels in train_batches_factory:
+                    optimizer.zero_grad()
+                    images = np.asarray(images)
+                    if cfg.input_noise_std > 0:
+                        images = images + noise_rng.normal(
+                            0.0, cfg.input_noise_std, size=images.shape
+                        )
+                    if regularizer is not None:
+                        regularizer.reset()
+                    logits = snn(images)
+                    loss = self.criterion(logits, labels)
+                    if regularizer is not None:
+                        penalty = regularizer.penalty()
+                        if penalty is not None:
+                            loss = loss + penalty
+                    loss.backward()
+                    optimizer.step()
+                    clamp_neuron_parameters(snn)
+                    losses.append(loss.item())
+                    correct += int((logits.data.argmax(axis=1) == labels).sum())
+                    seen += len(labels)
+                elapsed = time.perf_counter() - started
 
-            test_acc = (
-                evaluate_snn(snn, test_batches_factory)
-                if test_batches_factory is not None
-                else float("nan")
-            )
-            history.record(
-                epoch=epoch,
-                train_loss=float(np.mean(losses)) if losses else float("nan"),
-                train_accuracy=correct / max(seen, 1),
-                test_accuracy=test_acc,
-                learning_rate=optimizer.lr,
-                epoch_seconds=elapsed,
-            )
-            scheduler.step()
-            if verbose:
-                print(
-                    f"[snn T={snn.timesteps}] epoch {epoch:3d}/{cfg.epochs} "
+                test_acc = (
+                    evaluate_snn(snn, test_batches_factory)
+                    if test_batches_factory is not None
+                    else float("nan")
+                )
+                history.record(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)) if losses else float("nan"),
+                    train_accuracy=correct / max(seen, 1),
+                    test_accuracy=test_acc,
+                    learning_rate=optimizer.lr,
+                    epoch_seconds=elapsed,
+                )
+                span.set(
+                    train_loss=history.train_loss[-1],
+                    train_accuracy=history.train_accuracy[-1],
+                    test_accuracy=test_acc,
+                )
+                obs_metrics.gauge("snn.train_loss", history.train_loss[-1])
+                obs_metrics.gauge("snn.train_accuracy", history.train_accuracy[-1])
+                obs_metrics.gauge("snn.test_accuracy", test_acc)
+                obs_metrics.observe("snn.epoch_seconds", elapsed)
+                obs_metrics.inc("snn.examples_seen", seen)
+                scheduler.step()
+                _log.log(
+                    "info" if verbose else "debug",
+                    f"T={snn.timesteps} epoch {epoch:3d}/{cfg.epochs} "
                     f"loss={history.train_loss[-1]:.4f} "
                     f"train={history.train_accuracy[-1]:.3f} "
-                    f"test={test_acc:.3f} ({elapsed:.1f}s)"
+                    f"test={test_acc:.3f} ({elapsed:.1f}s)",
+                    epoch=epoch,
+                    timesteps=snn.timesteps,
+                    train_loss=history.train_loss[-1],
+                    train_accuracy=history.train_accuracy[-1],
+                    test_accuracy=test_acc,
+                    seconds=elapsed,
                 )

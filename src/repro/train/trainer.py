@@ -16,12 +16,17 @@ from typing import Iterable, Optional, Tuple
 import numpy as np
 
 from ..nn import CrossEntropyLoss, Module, ThresholdReLU
+from ..obs import get_logger
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..optim import SGD, MultiStepLR, paper_milestones
 from ..tensor import Tensor
 from .history import TrainingHistory
 from .metrics import evaluate_dnn
 
 MIN_THRESHOLD = 1e-2
+
+_log = get_logger("dnn")
 
 
 @dataclass
@@ -84,40 +89,56 @@ class DNNTrainer:
         history = TrainingHistory()
 
         for epoch in range(1, cfg.epochs + 1):
-            started = time.perf_counter()
-            model.train()
-            losses, correct, seen = [], 0, 0
-            for images, labels in train_batches_factory:
-                optimizer.zero_grad()
-                logits = model(Tensor(np.asarray(images)))
-                loss = self.criterion(logits, labels)
-                loss.backward()
-                optimizer.step()
-                clamp_thresholds(model)
-                losses.append(loss.item())
-                correct += int((logits.data.argmax(axis=1) == labels).sum())
-                seen += len(labels)
-            elapsed = time.perf_counter() - started
+            with trace.span("dnn_epoch", epoch=epoch) as span:
+                started = time.perf_counter()
+                model.train()
+                losses, correct, seen = [], 0, 0
+                for images, labels in train_batches_factory:
+                    optimizer.zero_grad()
+                    logits = model(Tensor(np.asarray(images)))
+                    loss = self.criterion(logits, labels)
+                    loss.backward()
+                    optimizer.step()
+                    clamp_thresholds(model)
+                    losses.append(loss.item())
+                    correct += int((logits.data.argmax(axis=1) == labels).sum())
+                    seen += len(labels)
+                elapsed = time.perf_counter() - started
 
-            test_acc = (
-                evaluate_dnn(model, test_batches_factory)
-                if test_batches_factory is not None
-                else float("nan")
-            )
-            history.record(
-                epoch=epoch,
-                train_loss=float(np.mean(losses)) if losses else float("nan"),
-                train_accuracy=correct / max(seen, 1),
-                test_accuracy=test_acc,
-                learning_rate=optimizer.lr,
-                epoch_seconds=elapsed,
-            )
-            scheduler.step()
-            if verbose:
-                print(
-                    f"[dnn] epoch {epoch:3d}/{cfg.epochs} "
+                test_acc = (
+                    evaluate_dnn(model, test_batches_factory)
+                    if test_batches_factory is not None
+                    else float("nan")
+                )
+                history.record(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)) if losses else float("nan"),
+                    train_accuracy=correct / max(seen, 1),
+                    test_accuracy=test_acc,
+                    learning_rate=optimizer.lr,
+                    epoch_seconds=elapsed,
+                )
+                span.set(
+                    train_loss=history.train_loss[-1],
+                    train_accuracy=history.train_accuracy[-1],
+                    test_accuracy=test_acc,
+                )
+                obs_metrics.gauge("dnn.train_loss", history.train_loss[-1])
+                obs_metrics.gauge("dnn.train_accuracy", history.train_accuracy[-1])
+                obs_metrics.gauge("dnn.test_accuracy", test_acc)
+                obs_metrics.observe("dnn.epoch_seconds", elapsed)
+                obs_metrics.inc("dnn.examples_seen", seen)
+                scheduler.step()
+                _log.log(
+                    "info" if verbose else "debug",
+                    f"epoch {epoch:3d}/{cfg.epochs} "
                     f"loss={history.train_loss[-1]:.4f} "
                     f"train={history.train_accuracy[-1]:.3f} "
-                    f"test={test_acc:.3f} ({elapsed:.1f}s)"
+                    f"test={test_acc:.3f} ({elapsed:.1f}s)",
+                    epoch=epoch,
+                    train_loss=history.train_loss[-1],
+                    train_accuracy=history.train_accuracy[-1],
+                    test_accuracy=test_acc,
+                    seconds=elapsed,
                 )
         return history

@@ -1,0 +1,401 @@
+"""Observability layer: spans, metrics, logging, instruments, report."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.nn import Linear
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import load_run, render_report
+from repro.snn import SpikingNetwork, SpikingNeuron, SpikingSequential, StepWrapper
+
+
+def _reset_obs():
+    obs.shutdown()
+    obs.reset_registry()
+    trace.reset()
+    obs.state().events.clear()
+    obs.state().spans.clear()
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    _reset_obs()
+    yield
+    _reset_obs()
+
+
+def tiny_snn(timesteps=2, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    body = SpikingSequential(
+        StepWrapper(Linear(4, 6, rng=rng)),
+        SpikingNeuron(v_threshold=0.5, trainable=False),
+        StepWrapper(Linear(6, 3, rng=rng)),
+    )
+    return SpikingNetwork(body, timesteps=timesteps)
+
+
+class TestCore:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_configure_shutdown_cycle(self, tmp_path):
+        state = obs.configure(run_dir=str(tmp_path), arch="vgg16")
+        assert obs.is_enabled()
+        assert state.run_id is not None
+        obs.shutdown()
+        assert not obs.is_enabled()
+        # run_start + run_end both made it to disk.
+        lines = (tmp_path / "events.jsonl").read_text().strip().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["run_start", "run_end"]
+        # Context fields are merged into every record.
+        assert all(json.loads(line)["arch"] == "vgg16" for line in lines)
+
+    def test_observe_context_manager(self):
+        with obs.observe():
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+    def test_memory_only_run(self):
+        with obs.observe():
+            with trace.span("a"):
+                pass
+            assert len(obs.state().spans) == 1
+
+
+class TestSpans:
+    def test_null_span_singleton_when_disabled(self):
+        assert trace.span("x") is trace.span("y")
+        assert trace.span("x") is trace.NULL_SPAN
+        with trace.span("x") as sp:
+            sp.set(anything=1)  # no-op, no error
+
+    def test_nesting_parent_ids_and_depth(self):
+        with obs.observe():
+            with trace.span("outer") as outer:
+                with trace.span("inner") as inner:
+                    assert trace.current_span() is inner
+                    assert inner.parent_id == outer.span_id
+                    assert inner.depth == 1
+            assert trace.current_span() is None
+        spans = {s["name"]: s for s in obs.state().spans}
+        assert spans["inner"]["parent_id"] == spans["outer"]["span_id"]
+        assert spans["outer"]["parent_id"] is None
+        # Children close (and are emitted) before their parent.
+        names = [s["name"] for s in obs.state().spans]
+        assert names == ["inner", "outer"]
+
+    def test_span_fields_and_duration(self):
+        with obs.observe():
+            with trace.span("work", layer=3) as sp:
+                sp.set(alpha=0.5)
+        (record,) = obs.state().spans
+        assert record["fields"] == {"layer": 3, "alpha": 0.5}
+        assert record["duration_s"] >= 0.0
+        assert record["status"] == "ok"
+
+    def test_error_status(self):
+        with obs.observe():
+            with pytest.raises(RuntimeError):
+                with trace.span("doomed"):
+                    raise RuntimeError("boom")
+        (record,) = obs.state().spans
+        assert record["status"] == "error"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        with obs.observe(str(tmp_path)):
+            with trace.span("outer"):
+                with trace.span("inner", layer=1):
+                    pass
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "trace.jsonl").read_text().strip().splitlines()
+        ]
+        assert [r["name"] for r in records] == ["inner", "outer"]
+        assert records[0]["fields"] == {"layer": 1}
+        assert all(r["kind"] == "span" for r in records)
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.inc("spikes", 3)
+        registry.inc("spikes", 2)
+        assert registry.counter("spikes").value == 5
+        with pytest.raises(ValueError):
+            registry.counter("spikes").inc(-1)
+
+    def test_gauge_trajectory(self):
+        registry = MetricsRegistry()
+        for mu in (1.0, 0.8, 0.6):
+            registry.set_gauge("mu", mu, layer=0)
+        gauge = registry.gauge("mu", layer=0)
+        assert gauge.value == 0.6
+        assert gauge.trajectory == [1.0, 0.8, 0.6]
+
+    def test_histogram_aggregation(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat", value)
+        hist = registry.histogram("lat")
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.median == pytest.approx(2.5)
+        assert hist.minimum == 1.0 and hist.maximum == 4.0
+        assert hist.std == pytest.approx(np.std([1, 2, 3, 4]))
+        assert hist.percentile(100.0) == 4.0
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.observe("rate", 0.1, layer=0)
+        registry.observe("rate", 0.9, layer=1)
+        assert registry.histogram("rate", layer=0).count == 1
+        assert registry.histogram("rate", layer=1).count == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 2.0)
+        registry.observe("h", 1.0, layer=2)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"]["g"]["value"] == 2.0
+        assert snap["histograms"]["h{layer=2}"]["count"] == 1
+        json.dumps(snap)  # JSON-serialisable
+
+    def test_global_writers_noop_when_disabled(self):
+        obs_metrics.inc("nope")
+        obs_metrics.gauge("nope", 1.0)
+        obs_metrics.observe("nope", 1.0)
+        assert len(obs.get_registry()) == 0
+
+    def test_global_writers_record_when_enabled(self):
+        with obs.observe():
+            obs_metrics.observe("yes", 1.0)
+        assert obs.get_registry().histogram("yes").count == 1
+
+
+class TestLogging:
+    def test_info_prints_and_records(self, capsys, tmp_path):
+        with obs.observe(str(tmp_path)):
+            obs.get_logger("demo").info("hello", epoch=1)
+        assert "[demo] hello" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "events.jsonl").read_text().strip().splitlines()
+        ]
+        logs = [r for r in records if r["kind"] == "log"]
+        assert logs[0]["message"] == "hello"
+        assert logs[0]["fields"] == {"epoch": 1}
+        assert logs[0]["level"] == "info"
+
+    def test_debug_silent_on_console_but_recorded(self, capsys):
+        with obs.observe():
+            obs.get_logger("demo").debug("quiet")
+        assert capsys.readouterr().out == ""
+        assert any(
+            e.get("message") == "quiet" for e in obs.state().events
+        )
+
+    def test_console_level_adjustable(self, capsys):
+        obs.set_console_level("error")
+        try:
+            obs.get_logger("demo").info("hidden")
+            assert capsys.readouterr().out == ""
+        finally:
+            obs.set_console_level("info")
+
+    def test_console_passthrough(self, capsys):
+        with obs.observe():
+            obs.console("| a | b |")
+        assert "| a | b |" in capsys.readouterr().out
+        assert any(e.get("kind") == "console" for e in obs.state().events)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            obs.get_logger("demo").log("loud", "msg")
+
+
+class TestInstruments:
+    def test_monitored_records_per_layer_histograms(self):
+        snn = tiny_snn()
+        images = np.random.default_rng(3).random((5, 4))
+        with obs.observe():
+            with obs.monitored(snn) as monitor:
+                snn(images)
+            assert monitor.steps_seen == snn.timesteps
+        registry = obs.get_registry()
+        hist = registry.histogram("snn.spike_rate", layer=0)
+        assert hist.count == snn.timesteps
+        assert 0.0 <= hist.mean <= 1.0
+        membrane = registry.histogram("snn.membrane_mean", layer=0)
+        assert membrane.count == snn.timesteps
+
+    def test_monitored_restores_state(self):
+        snn = tiny_snn()
+        images = np.zeros((2, 4))
+        with obs.observe():
+            with obs.monitored(snn):
+                snn(images)
+        assert snn._step_monitor is None
+        assert all(not n.recording for n in snn.spiking_neurons())
+
+    def test_monitored_noop_when_disabled(self):
+        snn = tiny_snn()
+        with obs.monitored(snn) as monitor:
+            snn(np.zeros((2, 4)))
+        assert monitor is None
+        assert len(obs.get_registry()) == 0
+
+    def test_record_spike_profile(self):
+        snn = tiny_snn()
+        registry = MetricsRegistry()
+        snn.set_recording(True)
+        snn(np.random.default_rng(0).random((4, 4)))
+        rates = obs.record_spike_profile(snn, registry=registry)
+        assert len(rates) == 1
+        assert registry.gauge("snn.layer_spike_rate", layer=0).value == rates[0]
+
+    def test_timed_uses_profiling_backend(self):
+        with obs.observe():
+            result = obs.timed("noop", lambda: None, repeats=2, warmup=0)
+        assert len(result.samples) == 2
+        assert obs.get_registry().histogram("noop.seconds").count == 2
+        names = [s["name"] for s in obs.state().spans]
+        assert "timed:noop" in names
+
+    def test_measure_inference_memory_gauges(self):
+        snn = tiny_snn()
+        with obs.observe():
+            report = obs.measure_inference_memory(snn, (4,), batch_size=2)
+        assert report.total > 0
+        gauge = obs.get_registry().gauge("inference_memory.total_bytes")
+        assert gauge.value == report.total
+
+
+class TestReport:
+    def test_round_trip_and_render(self, tmp_path):
+        with obs.observe(str(tmp_path)):
+            with trace.span("outer", phase="x"):
+                with trace.span("inner"):
+                    pass
+            obs_metrics.inc("events", 2)
+            obs_metrics.gauge("acc", 0.75)
+            obs_metrics.observe("lat", 0.5, layer=1)
+            obs.get_logger("demo").error("bad thing")
+        run = load_run(str(tmp_path))
+        assert len(run.spans) == 2
+        report = render_report(run)
+        assert "outer" in report and "inner" in report
+        assert "events" in report and "acc" in report and "lat{layer=1}" in report
+        assert "bad thing" in report
+        # inner is rendered indented under outer (tree order).
+        assert report.index("outer") < report.index("&nbsp;&nbsp;inner")
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(str(tmp_path / "nope"))
+
+    def test_empty_dir_renders(self, tmp_path):
+        report = render_report(load_run(str(tmp_path)))
+        assert "no spans recorded" in report
+
+
+class TestPipelineTracing:
+    def test_run_pipeline_writes_nested_trace(self, tmp_path):
+        """Acceptance: a traced run_pipeline produces nested spans for
+        calibration -> Algorithm 1 -> conversion -> SNN eval plus
+        per-layer spike-rate histograms."""
+        from dataclasses import replace
+
+        from repro.experiments import ExperimentConfig, get_scale, run_pipeline
+        from repro.experiments.context import clear_context_cache
+        from repro.experiments.pipeline import clear_pipeline_cache
+
+        scale = replace(
+            get_scale("tiny"),
+            name="obs-test",
+            image_size=8,
+            train_size=40,
+            test_size=20,
+            width_multiplier=0.125,
+            batch_size=20,
+            dnn_epochs=1,
+            snn_epochs=1,
+            calibration_batches=1,
+        )
+        config = ExperimentConfig(
+            arch="vgg11", dataset="cifar10", timesteps=2, scale=scale
+        )
+        clear_context_cache()
+        clear_pipeline_cache()
+        try:
+            with obs.observe(str(tmp_path)):
+                run_pipeline(config, fine_tune=False)
+        finally:
+            clear_context_cache()
+            clear_pipeline_cache()
+
+        run = load_run(str(tmp_path))
+        spans = {s["name"]: s for s in run.spans}
+        for name in ("run_pipeline", "calibration", "algorithm1",
+                     "conversion", "snn_eval"):
+            assert name in spans, f"missing span {name}"
+        root_id = spans["run_pipeline"]["span_id"]
+        assert spans["run_pipeline"]["parent_id"] is None
+        for child in ("calibration", "algorithm1", "conversion", "snn_eval"):
+            assert spans[child]["parent_id"] == root_id
+            assert spans[child]["depth"] == 1
+        # One algorithm1 span per activation layer (VGG-11 has 9).
+        assert sum(1 for s in run.spans if s["name"] == "algorithm1") == 9
+
+        histograms = run.metrics["histograms"]
+        spike_rates = [k for k in histograms if k.startswith("snn.spike_rate")]
+        assert len(spike_rates) == 9  # one per spiking layer
+        assert all(histograms[k]["count"] > 0 for k in spike_rates)
+        # Scaling-factor trajectories were gauged per layer.
+        assert "conversion.mu{layer=0}" in run.metrics["gauges"]
+        assert "algorithm1.residual{layer=0}" in histograms
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_no_clock_reads_or_records(self):
+        snn = tiny_snn()
+        images = np.zeros((2, 4))
+        snn(images)
+        assert obs.state().spans == []
+        assert obs.state().events == []
+        assert len(obs.get_registry()) == 0
+        assert snn._step_monitor is None
+
+    def test_disabled_calls_are_cheap(self):
+        """Disabled span/metric calls must stay at raw-function-call
+        cost (a boolean check), not allocate or touch the clock."""
+        import timeit
+
+        calls = 20_000
+        span_cost = min(
+            timeit.repeat(
+                lambda: trace.span("hot", layer=1), number=calls, repeat=3
+            )
+        ) / calls
+        metric_cost = min(
+            timeit.repeat(
+                lambda: obs_metrics.observe("hot", 1.0, layer=1),
+                number=calls,
+                repeat=3,
+            )
+        ) / calls
+        # Generous bound (a plain Python call is ~0.1 us): catches any
+        # accidental work sneaking onto the disabled path.
+        assert span_cost < 5e-6
+        assert metric_cost < 5e-6

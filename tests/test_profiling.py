@@ -11,6 +11,7 @@ from repro.profiling import (
     EpochTimeComparison,
     GraphMemoryMeter,
     MemoryReport,
+    TimingResult,
     inference_memory,
     parameter_bytes,
     time_callable,
@@ -126,10 +127,32 @@ class TestTiming:
         result = time_callable(lambda: sum(range(1000)), repeats=3, warmup=1)
         assert len(result.samples) == 3
         assert result.minimum <= result.mean <= result.maximum
+        assert result.minimum <= result.median <= result.maximum
+        assert result.std >= 0.0
 
     def test_repeats_validation(self):
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, warmup=-1)
+
+    def test_warmup_runs_are_discarded(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5  # 3 warmups + 2 timed
+
+    def test_median_odd_and_even(self):
+        assert TimingResult(samples=[3.0, 1.0, 2.0]).median == 2.0
+        assert TimingResult(samples=[4.0, 1.0, 2.0, 3.0]).median == 2.5
+
+    def test_std_matches_numpy(self):
+        samples = [0.1, 0.4, 0.2, 0.9]
+        assert TimingResult(samples=samples).std == pytest.approx(
+            np.std(samples)
+        )
+        assert TimingResult(samples=[0.5]).std == 0.0
 
     def test_epoch_comparison_speedups(self):
         comparison = EpochTimeComparison(
