@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench quicktest smoke examples clean
+.PHONY: install test bench bench-baseline microbench quicktest smoke examples clean
 
 install:
 	python setup.py develop
@@ -11,11 +11,25 @@ test:
 quicktest:
 	pytest tests/ --ignore=tests/test_experiment_drivers.py -q
 
+# Hot-kernel benchmarks + regression gate: time the registered benches
+# into a scratch report and fail if any kernel's median regressed past
+# the threshold vs the latest committed BENCH_<seq>.json baseline.
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	@mkdir -p results
+	PYTHONPATH=src python -m repro.bench run --out results/bench_current.json
+	PYTHONPATH=src python -m repro.bench compare --candidate results/bench_current.json
+
+# Record a new committed baseline point (BENCH_<next seq>.json).
+bench-baseline:
+	PYTHONPATH=src python -m repro.bench run
+
+# The same bench definitions through pytest-benchmark (rich statistics).
+microbench:
+	pytest benchmarks/test_microbench.py --benchmark-only -s
 
 # Tiny instrumented convert+evaluate pipeline; fails unless a non-empty
-# trace with the expected spans and spike-rate histograms is produced.
+# trace with the expected spans, spike-rate histograms and conversion
+# drift records is produced.
 smoke:
 	PYTHONPATH=src python -m repro.obs.smoke
 

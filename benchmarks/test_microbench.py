@@ -3,87 +3,36 @@
 Not a paper table — these give the throughput numbers that contextualise
 the Fig. 3 timing results on this CPU substrate (conv GEMM, IF neuron
 update, the Algorithm-1 search, a full SNN inference step).
+
+The benchmark *definitions* live in :mod:`repro.bench.suite` behind the
+``@register_bench`` registry, shared with the ``python -m repro.bench``
+baseline runner — this module only adapts them to pytest-benchmark.
+Each registered factory performs its setup untimed, sanity-checks the
+kernel's output once, and returns the zero-arg callable timed here.
 """
 
-import numpy as np
 import pytest
 
-from repro.conversion import ConversionConfig, convert_dnn_to_snn, find_scaling_factors
-from repro.data import DataLoader
-from repro.models import vgg11
-from repro.nn import Conv2d
-from repro.snn import IFNeuron
-from repro.tensor import Tensor
+from repro.bench import iter_benches
+
+CASES = list(iter_benches())
 
 
-@pytest.fixture(scope="module")
-def conv_setup():
-    rng = np.random.default_rng(0)
-    layer = Conv2d(16, 32, 3, padding=1, rng=rng)
-    x = Tensor(rng.normal(size=(8, 16, 16, 16)))
-    return layer, x
-
-
-@pytest.mark.benchmark(group="micro")
-def test_conv2d_forward(benchmark, conv_setup):
-    layer, x = conv_setup
-    out = benchmark(lambda: layer(x))
-    assert out.shape == (8, 32, 16, 16)
+def test_registry_has_the_hot_kernels():
+    names = {case.name for case in CASES}
+    assert {
+        "nn.conv2d_forward",
+        "nn.conv2d_forward_backward",
+        "snn.if_neuron_step",
+        "snn.surrogate_backward",
+        "conversion.algorithm1_search",
+        "conversion.algorithm1_search_fast",
+        "snn.full_forward_t2",
+    } <= names
 
 
 @pytest.mark.benchmark(group="micro")
-def test_conv2d_forward_backward(benchmark, conv_setup):
-    layer, x = conv_setup
-    x.requires_grad = True
-
-    def step():
-        layer.zero_grad()
-        layer(x).sum().backward()
-
-    benchmark(step)
-    assert layer.weight.grad is not None
-
-
-@pytest.mark.benchmark(group="micro")
-def test_if_neuron_step(benchmark):
-    rng = np.random.default_rng(0)
-    neuron = IFNeuron(v_threshold=1.0)
-    current = Tensor(rng.normal(size=(32, 64, 8, 8)))
-
-    def step():
-        neuron.reset_state()
-        return neuron(current)
-
-    out = benchmark(step)
-    assert out.shape == current.shape
-
-
-@pytest.mark.benchmark(group="micro")
-def test_algorithm1_search(benchmark):
-    rng = np.random.default_rng(0)
-    percentiles = np.percentile(
-        rng.exponential(scale=0.3, size=100_000), np.arange(101.0)
-    )
-    result = benchmark(lambda: find_scaling_factors(percentiles, 2.0, 2))
-    assert 0 < result.alpha <= 1.0
-
-
-@pytest.mark.benchmark(group="micro")
-def test_snn_inference_pass(benchmark):
-    rng = np.random.default_rng(0)
-    model = vgg11(
-        num_classes=10, image_size=8, width_multiplier=0.125,
-        rng=np.random.default_rng(1),
-    )
-    loader = DataLoader(rng.random((16, 3, 8, 8)), rng.integers(0, 10, 16), 16)
-    snn = convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2)).snn
-    snn.eval()
-    images = rng.random((16, 3, 8, 8))
-    from repro.tensor import no_grad
-
-    def infer():
-        with no_grad():
-            return snn(images)
-
-    out = benchmark(infer)
-    assert out.shape == (16, 10)
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.name)
+def test_microbench(benchmark, case):
+    fn = case.prepare()
+    benchmark(fn)

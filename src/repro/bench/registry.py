@@ -1,0 +1,105 @@
+"""The benchmark registry: named hot-kernel benchmark definitions.
+
+A bench is registered once and consumed from two harnesses — the
+``python -m repro.bench`` runner (machine-readable ``BENCH_*.json``
+baselines) and pytest-benchmark (``benchmarks/test_microbench.py``) —
+so a kernel's benchmark is defined exactly once.
+
+A registered function is a *factory*: it performs all setup (build the
+layer, allocate inputs, convert the network) and returns the zero-arg
+callable that the harness times.  Setup cost therefore never pollutes
+the timing distribution::
+
+    @register_bench("nn.conv2d_forward", group="nn")
+    def conv2d_forward():
+        layer, x = ...          # setup, untimed
+        def run():
+            layer(x)            # the timed kernel
+        return run
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional
+
+BenchFn = Callable[[], object]
+BenchFactory = Callable[[], BenchFn]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark: identity, grouping and timing policy."""
+
+    name: str
+    group: str
+    factory: BenchFactory
+    repeats: int = 5
+    warmup: int = 1
+
+    def prepare(self) -> BenchFn:
+        """Run the setup; return the callable to time."""
+        return self.factory()
+
+
+_REGISTRY: Dict[str, BenchCase] = {}
+
+
+def register_bench(
+    name: str,
+    group: str = "micro",
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Callable[[BenchFactory], BenchFactory]:
+    """Decorator registering ``factory`` as the benchmark ``name``."""
+
+    def decorator(factory: BenchFactory) -> BenchFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark '{name}' is already registered")
+        _REGISTRY[name] = BenchCase(
+            name=name, group=group, factory=factory,
+            repeats=repeats, warmup=warmup,
+        )
+        return factory
+
+    return decorator
+
+
+def get_bench(name: str) -> BenchCase:
+    _ensure_suite()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark '{name}'; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def iter_benches(
+    filter_substring: Optional[str] = None,
+    group: Optional[str] = None,
+) -> Iterator[BenchCase]:
+    """Registered benches in name order, optionally filtered."""
+    _ensure_suite()
+    for name in sorted(_REGISTRY):
+        case = _REGISTRY[name]
+        if filter_substring is not None and filter_substring not in name:
+            continue
+        if group is not None and case.group != group:
+            continue
+        yield case
+
+
+def bench_names() -> List[str]:
+    _ensure_suite()
+    return sorted(_REGISTRY)
+
+
+def unregister_bench(name: str) -> None:
+    """Remove one bench (tests register throwaway cases)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_suite() -> None:
+    """Import the standard suite on first registry access, so CLI and
+    pytest both see the stock benches without an explicit import."""
+    from . import suite  # noqa: F401  (import registers the benches)

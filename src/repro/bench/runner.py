@@ -1,0 +1,159 @@
+"""Benchmark runner: registered benches → schema-versioned baselines.
+
+``run_benches`` times every registered bench through
+:func:`repro.obs.instruments.timed` (so an observed run also gets spans
+and ``bench.*.seconds`` histograms for free) and assembles one
+JSON-ready report::
+
+    {
+      "schema": "repro.bench/v1",
+      "schema_version": 1,
+      "seq": 3,                      # position in the BENCH_* sequence
+      "created_at": <unix time>,
+      "environment": {...},          # python/numpy/platform fingerprint
+      "config": {"repeats": ..., "warmup": ..., "filter": ...},
+      "results": {
+        "<bench name>": {"group": ..., "median_s": ..., "p95_s": ..., ...}
+      }
+    }
+
+Baselines live at the repository root as ``BENCH_<seq>.json``; the
+sequence number makes the performance trajectory of the repo itself
+machine-readable, one file per recorded point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import get_logger
+from ..obs.instruments import timed
+from .registry import BenchCase, iter_benches
+
+SCHEMA = "repro.bench/v1"
+SCHEMA_VERSION = 1
+BASELINE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+_log = get_logger("bench")
+
+
+def environment_fingerprint() -> dict:
+    """Where these numbers were measured (for cross-host sanity checks)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benches(
+    filter_substring: Optional[str] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    seq: Optional[int] = None,
+    verbose: bool = True,
+) -> dict:
+    """Time the (filtered) registered benches; return the report dict.
+
+    ``repeats`` / ``warmup`` override every case's own policy when
+    given (useful for quick sanity runs and deterministic tests).
+    """
+    cases: List[BenchCase] = list(iter_benches(filter_substring))
+    if not cases:
+        raise ValueError(
+            f"no benchmarks match filter {filter_substring!r}"
+        )
+    results = {}
+    for case in cases:
+        fn = case.prepare()
+        case_repeats = repeats if repeats is not None else case.repeats
+        case_warmup = warmup if warmup is not None else case.warmup
+        timing = timed(
+            f"bench.{case.name}", fn,
+            repeats=case_repeats, warmup=case_warmup,
+            bench=case.name, group=case.group,
+        )
+        results[case.name] = {"group": case.group, **timing.summary()}
+        if verbose:
+            _log.info(
+                f"{case.name}: median {timing.median * 1e3:.3f} ms "
+                f"(p95 {timing.p95 * 1e3:.3f} ms, n={case_repeats})",
+                bench=case.name,
+                median_s=timing.median,
+                p95_s=timing.p95,
+            )
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "seq": seq,
+        "created_at": time.time(),
+        "environment": environment_fingerprint(),
+        "config": {
+            "repeats": repeats,
+            "warmup": warmup,
+            "filter": filter_substring,
+        },
+        "results": results,
+    }
+
+
+def validate_report(report: dict) -> dict:
+    """Schema check; returns the report or raises ``ValueError``."""
+    if not isinstance(report, dict):
+        raise ValueError("bench report must be a JSON object")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {report.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    results = report.get("results")
+    if not isinstance(results, dict):
+        raise ValueError("bench report has no 'results' object")
+    for name, entry in results.items():
+        for key in ("median_s", "mean_s", "std_s", "p95_s", "repeats"):
+            if not isinstance(entry.get(key), (int, float)):
+                raise ValueError(
+                    f"bench result '{name}' is missing numeric '{key}'"
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Baseline files (BENCH_<seq>.json at the repository root)
+# ----------------------------------------------------------------------
+def find_baselines(root: str = ".") -> List[Tuple[int, str]]:
+    """``(seq, path)`` of every baseline under ``root``, seq-ascending."""
+    found = []
+    for entry in os.listdir(root):
+        match = BASELINE_RE.match(entry)
+        if match:
+            found.append((int(match.group(1)), os.path.join(root, entry)))
+    return sorted(found)
+
+
+def next_seq(root: str = ".") -> int:
+    baselines = find_baselines(root)
+    return baselines[-1][0] + 1 if baselines else 0
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fp:
+        return validate_report(json.load(fp))
+
+
+def write_report(report: dict, path: str) -> str:
+    validate_report(report)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return path

@@ -20,7 +20,12 @@ from .algorithm1 import (
     find_scaling_factors_fast,
 )
 from .calibration import calibrate_snn
-from .diagnostics import LayerErrorReport, diagnose_conversion, render_diagnosis
+from .diagnostics import (
+    LayerErrorReport,
+    diagnose_conversion,
+    render_diagnosis,
+    worst_layer,
+)
 from .converter import (
     ConversionConfig,
     ConversionResult,
@@ -82,4 +87,5 @@ __all__ = [
     "render_diagnosis",
     "snn_staircase",
     "threshold_relu_specs",
+    "worst_layer",
 ]

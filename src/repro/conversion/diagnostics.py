@@ -18,7 +18,7 @@ validates the Eq. 6-7 approximations against ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,29 @@ class LayerErrorReport:
         if self.dnn_mean == 0:
             return 0.0
         return self.measured_gap / self.dnn_mean
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (used by the obs drift-monitor JSONL sink)."""
+        return {
+            "layer": self.layer,
+            "mu": self.mu,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "k_mu": self.k_mu,
+            "h_t_mu": self.h_t_mu,
+            "predicted_gap": self.predicted_gap,
+            "measured_gap": self.measured_gap,
+            "dnn_mean": self.dnn_mean,
+            "snn_mean": self.snn_mean,
+            "relative_gap": self.relative_gap,
+        }
+
+
+def worst_layer(reports: List[LayerErrorReport]) -> Optional[LayerErrorReport]:
+    """The layer losing the most: largest absolute measured gap."""
+    if not reports:
+        return None
+    return max(reports, key=lambda r: abs(r.measured_gap))
 
 
 def diagnose_conversion(

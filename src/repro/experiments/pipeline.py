@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..conversion import ConversionConfig, ConversionResult, convert_dnn_to_snn
+from ..obs import DriftMonitor, is_enabled
 from ..obs import metrics as obs_metrics
 from ..obs import monitored, trace
 from ..snn import SpikingNetwork
@@ -75,8 +76,15 @@ def run_pipeline(
     fine_tune: bool = True,
     snn_lr: float = 5e-4,
     verbose: bool = False,
+    record_drift: Optional[bool] = None,
 ) -> PipelineResult:
-    """Run (or fetch from cache) the full hybrid-training pipeline."""
+    """Run (or fetch from cache) the full hybrid-training pipeline.
+
+    ``record_drift`` controls the per-layer conversion-drift telemetry
+    (:class:`repro.obs.DriftMonitor` snapshots after conversion and
+    again after fine-tuning); the default records exactly when an
+    observed run is active.
+    """
     key = (config.context_key(), config.timesteps, strategy, fine_tune, snn_lr)
     if key in _SNN_CACHE:
         return _SNN_CACHE[key]
@@ -99,6 +107,15 @@ def run_pipeline(
                 conversion_accuracy = evaluate_snn(conversion.snn, test_loader)
             eval_span.set(accuracy=conversion_accuracy)
 
+        # Conversion-drift telemetry: per-layer predicted-vs-measured
+        # gap snapshots bracketing the SGL fine-tuning stage.
+        drift = None
+        if record_drift is None:
+            record_drift = is_enabled()
+        if record_drift:
+            drift = DriftMonitor(conversion, context.model, test_loader)
+            drift.snapshot("post_conversion")
+
         history = None
         if fine_tune:
             trainer = SNNTrainer(
@@ -114,6 +131,10 @@ def run_pipeline(
         with trace.span("snn_eval", phase="final") as eval_span:
             snn_accuracy = evaluate_snn(conversion.snn, test_loader)
             eval_span.set(accuracy=snn_accuracy)
+        if drift is not None:
+            if fine_tune:
+                drift.snapshot("post_finetune")
+            drift.close()
         pipeline_span.set(
             dnn_accuracy=context.dnn_accuracy,
             conversion_accuracy=conversion_accuracy,

@@ -7,7 +7,9 @@ directory:
 
 - ``events.jsonl``  — structured log records and captured CLI output;
 - ``trace.jsonl``   — closed tracing spans (a nested timeline);
-- ``metrics.json``  — counters / gauges / histograms snapshot.
+- ``metrics.json``  — counters / gauges / histograms snapshot;
+- ``drift.jsonl``   — per-layer conversion-drift series
+  (:class:`DriftMonitor`), when a conversion was instrumented.
 
 Quick start::
 
@@ -31,6 +33,7 @@ from .core import (
     shutdown,
     state,
 )
+from .drift import DriftMonitor
 from .instruments import (
     StepMonitor,
     measure_inference_memory,
@@ -59,6 +62,7 @@ def render_report(data):
 
 
 __all__ = [
+    "DriftMonitor",
     "Logger",
     "MetricsRegistry",
     "StepMonitor",

@@ -1,0 +1,177 @@
+"""Conversion-drift monitoring: per-layer DNN↔SNN gap as time series.
+
+The paper's error model (Eqs. 6-7) budgets conversion quality layer by
+layer; :func:`repro.conversion.diagnose_conversion` computes that budget
+once.  :class:`DriftMonitor` turns it into telemetry: every call to
+:meth:`snapshot` re-diagnoses the converted network against the source
+DNN on a pinned evaluation batch and records, per layer,
+
+- the predicted gap ``Delta_{alpha beta}`` and the skew indicators
+  ``K(mu)`` / ``h(T, mu)`` from the analytical model, and
+- the *measured* mean output gap on real data,
+
+as gauges in the metrics registry (``conversion.drift.*{layer=i}``) and
+as one JSONL record per layer in the run directory's ``drift.jsonl``.
+Snapshots are labelled with a phase (``post_conversion``,
+``post_calibration``, ``epoch``...) and a monotonically increasing
+snapshot index, so calibration and SGL fine-tuning leave a per-layer
+drift trajectory that ``repro.obs.report`` renders as the
+"Conversion drift" section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from . import metrics as obs_metrics
+from . import trace
+from .core import _STATE, is_enabled
+from .metrics import MetricsRegistry
+
+DRIFT_FILENAME = "drift.jsonl"
+
+
+class DriftMonitor:
+    """Records per-layer conversion drift across a run.
+
+    Parameters
+    ----------
+    conversion:
+        A :class:`repro.conversion.ConversionResult` (stats+specs+snn).
+    model:
+        The source DNN the SNN was converted from.
+    batches:
+        Evaluation batches ``(images, labels)``; the first
+        ``max_batches`` are concatenated once and pinned, so every
+        snapshot diagnoses against the same data.
+    registry:
+        Metrics registry to gauge into (default: the global one).
+    run_dir:
+        Directory for ``drift.jsonl`` (default: the active observed
+        run's directory, if any; ``None`` keeps records in memory only).
+    prefix:
+        Metric-name prefix (default ``conversion.drift``).
+    """
+
+    def __init__(
+        self,
+        conversion,
+        model,
+        batches: Iterable[Tuple[np.ndarray, np.ndarray]],
+        max_batches: int = 1,
+        registry: Optional[MetricsRegistry] = None,
+        run_dir: Optional[str] = None,
+        prefix: str = "conversion.drift",
+    ) -> None:
+        self.conversion = conversion
+        self.model = model
+        self.prefix = prefix
+        self.registry = registry if registry is not None else obs_metrics.get_registry()
+        self._global_registry = registry is None
+        self.snapshots: List[dict] = []
+        self._snapshot_index = 0
+        images = []
+        for index, (batch, _labels) in enumerate(batches):
+            if index >= max_batches:
+                break
+            images.append(np.asarray(batch))
+        if not images:
+            raise ValueError("no evaluation batches provided")
+        self._images = np.concatenate(images, axis=0)
+        self._labels = np.zeros(len(self._images), dtype=int)
+        if run_dir is None:
+            run_dir = _STATE.run_dir
+        self.run_dir = run_dir
+        self._fp: Optional[IO[str]] = None
+        if run_dir is not None:
+            os.makedirs(run_dir, exist_ok=True)
+            self._fp = open(
+                os.path.join(run_dir, DRIFT_FILENAME), "a", encoding="utf-8"
+            )
+
+    # ------------------------------------------------------------------
+    def snapshot(self, phase: str, **fields) -> List:
+        """Diagnose the conversion now; record one drift point per layer.
+
+        Returns the underlying :class:`LayerErrorReport` list.  Extra
+        ``fields`` (e.g. ``epoch=3``) are merged into every JSONL record
+        of this snapshot.
+        """
+        from ..conversion.diagnostics import diagnose_conversion
+
+        with trace.span(f"{self.prefix}.snapshot", phase=phase):
+            reports = diagnose_conversion(
+                self.conversion,
+                self.model,
+                [(self._images, self._labels)],
+                max_batches=1,
+            )
+        index = self._snapshot_index
+        self._snapshot_index += 1
+        now = time.time()
+        write_metrics = self._record_metrics()
+        for report in reports:
+            record = {
+                "kind": "drift",
+                "ts": now,
+                "phase": phase,
+                "snapshot": index,
+                **fields,
+                **report.as_dict(),
+            }
+            self.snapshots.append(record)
+            if self._fp is not None:
+                self._fp.write(json.dumps(record) + "\n")
+            if write_metrics:
+                layer = report.layer
+                self.registry.set_gauge(
+                    f"{self.prefix}.predicted_gap", report.predicted_gap, layer=layer
+                )
+                self.registry.set_gauge(
+                    f"{self.prefix}.measured_gap", report.measured_gap, layer=layer
+                )
+                self.registry.set_gauge(
+                    f"{self.prefix}.k_mu", report.k_mu, layer=layer
+                )
+                self.registry.set_gauge(
+                    f"{self.prefix}.h_t_mu", report.h_t_mu, layer=layer
+                )
+        if self._fp is not None:
+            self._fp.flush()
+        return reports
+
+    def _record_metrics(self) -> bool:
+        # An explicit registry always records; the global one only while
+        # observability is enabled (same contract as the instruments).
+        return not self._global_registry or is_enabled()
+
+    def worst(self, phase: Optional[str] = None) -> Optional[dict]:
+        """Latest-snapshot record with the largest ``|measured_gap|``.
+
+        Restricted to ``phase`` when given, otherwise to the most recent
+        snapshot index seen.
+        """
+        records = self.snapshots
+        if phase is not None:
+            records = [r for r in records if r["phase"] == phase]
+        if not records:
+            return None
+        latest = max(r["snapshot"] for r in records)
+        records = [r for r in records if r["snapshot"] == latest]
+        return max(records, key=lambda r: abs(r["measured_gap"]))
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def __enter__(self) -> "DriftMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -89,11 +89,18 @@ class Histogram:
         )
 
     def percentile(self, q: float) -> float:
-        """Linearly interpolated percentile ``q`` in [0, 100]."""
+        """Linearly interpolated percentile ``q`` in [0, 100].
+
+        Raises :class:`ValueError` on an empty histogram — a percentile
+        of nothing is a caller bug, not a zero.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
         if not self.samples:
-            return 0.0
+            raise ValueError(
+                "cannot take a percentile of an empty histogram "
+                "(no samples observed)"
+            )
         ordered = sorted(self.samples)
         position = (len(ordered) - 1) * q / 100.0
         low = int(math.floor(position))
@@ -179,8 +186,8 @@ class MetricsRegistry:
                     "std": h.std,
                     "min": h.minimum if h.count else None,
                     "max": h.maximum if h.count else None,
-                    "p50": h.median,
-                    "p95": h.percentile(95.0),
+                    "p50": h.median if h.samples else None,
+                    "p95": h.percentile(95.0) if h.samples else None,
                 }
                 for k, h in sorted(self._histograms.items())
             },

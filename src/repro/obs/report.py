@@ -4,9 +4,13 @@
     python -m repro.obs.report results/run_2/ --out REPORT.md
 
 Reads the run's ``trace.jsonl`` (spans), ``metrics.json`` (registry
-snapshot) and ``events.jsonl`` (log records) — any subset may be
-missing — and renders the span tree with durations plus counter /
-gauge / histogram tables.
+snapshot), ``events.jsonl`` (log records) and ``drift.jsonl``
+(per-layer conversion-drift series from
+:class:`repro.obs.drift.DriftMonitor`) — any subset may be missing, in
+which case the report degrades to the available artefacts with an
+explicit warning line per missing file — and renders the span tree
+with durations, counter / gauge / histogram tables and the per-layer
+conversion-drift table.
 """
 
 from __future__ import annotations
@@ -26,11 +30,11 @@ class RunData:
     spans: List[dict] = field(default_factory=list)
     events: List[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    drift: List[dict] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
 
 
 def _read_jsonl(path: str) -> List[dict]:
-    if not os.path.exists(path):
-        return []
     records = []
     with open(path, "r", encoding="utf-8") as fp:
         for line in fp:
@@ -40,17 +44,52 @@ def _read_jsonl(path: str) -> List[dict]:
     return records
 
 
+def _load_jsonl(data: RunData, filename: str, what: str) -> List[dict]:
+    """Read one JSONL artefact; a missing or corrupt file degrades to an
+    empty list plus a warning line in the rendered report."""
+    path = os.path.join(data.run_dir, filename)
+    if not os.path.exists(path):
+        data.warnings.append(f"`{filename}` missing — no {what} recorded")
+        return []
+    try:
+        return _read_jsonl(path)
+    except (json.JSONDecodeError, OSError) as exc:
+        data.warnings.append(f"`{filename}` unreadable ({exc}) — {what} skipped")
+        return []
+
+
 def load_run(run_dir: str) -> RunData:
-    """Load spans, events and the metrics snapshot from ``run_dir``."""
+    """Load spans, events, drift series and the metrics snapshot from
+    ``run_dir``.
+
+    Only a missing run *directory* raises; each missing or unreadable
+    artefact file inside it becomes an entry in ``RunData.warnings`` and
+    the report renders from whatever is present.
+    """
     if not os.path.isdir(run_dir):
         raise FileNotFoundError(f"run directory not found: {run_dir}")
     data = RunData(run_dir=run_dir)
-    data.spans = _read_jsonl(os.path.join(run_dir, "trace.jsonl"))
-    data.events = _read_jsonl(os.path.join(run_dir, "events.jsonl"))
+    data.spans = _load_jsonl(data, "trace.jsonl", "spans")
+    data.events = _load_jsonl(data, "events.jsonl", "events")
+    data.drift = [
+        r for r in _load_jsonl(data, "drift.jsonl", "conversion drift")
+        if r.get("kind") == "drift"
+    ]
+    # drift.jsonl only exists for instrumented conversions; its absence
+    # is normal and should not alarm.
+    if data.warnings and data.warnings[-1].startswith("`drift.jsonl` missing"):
+        data.warnings.pop()
     metrics_path = os.path.join(run_dir, "metrics.json")
     if os.path.exists(metrics_path):
-        with open(metrics_path, "r", encoding="utf-8") as fp:
-            data.metrics = json.load(fp)
+        try:
+            with open(metrics_path, "r", encoding="utf-8") as fp:
+                data.metrics = json.load(fp)
+        except (json.JSONDecodeError, OSError) as exc:
+            data.warnings.append(
+                f"`metrics.json` unreadable ({exc}) — metrics skipped"
+            )
+    else:
+        data.warnings.append("`metrics.json` missing — no metrics recorded")
     return data
 
 
@@ -97,9 +136,69 @@ def _fields_cell(span: dict) -> str:
     return ", ".join(parts)
 
 
+def _fmt(value, spec: str = ".4g") -> str:
+    return format(value, spec) if isinstance(value, (int, float)) else "-"
+
+
+def _render_drift(data: RunData, lines: List[str]) -> None:
+    """The "Conversion drift" section: per-layer table of the latest
+    snapshot plus the worst-layer callout and the phase trajectory."""
+    lines.append(f"## Conversion drift ({len(data.drift)} records)")
+    lines.append("")
+    latest = max(r.get("snapshot", 0) for r in data.drift)
+    snapshots = sorted(
+        {(r.get("snapshot", 0), r.get("phase", "?")) for r in data.drift}
+    )
+    lines.append(
+        "snapshots: "
+        + ", ".join(f"{index}:{phase}" for index, phase in snapshots)
+    )
+    lines.append("")
+    current = sorted(
+        (r for r in data.drift if r.get("snapshot", 0) == latest),
+        key=lambda r: r.get("layer", 0),
+    )
+    phase = current[0].get("phase", "?") if current else "?"
+    lines.append(f"### Per-layer gaps — snapshot {latest} (`{phase}`)")
+    lines.append("")
+    lines.append(
+        "| layer | mu | alpha | beta | K(mu) | h(T,mu) "
+        "| predicted gap | measured gap | relative gap |"
+    )
+    lines.append("| ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: | ---: |")
+    for record in current:
+        lines.append(
+            f"| {record.get('layer', '?')} | {_fmt(record.get('mu'))} "
+            f"| {_fmt(record.get('alpha'))} | {_fmt(record.get('beta'))} "
+            f"| {_fmt(record.get('k_mu'))} | {_fmt(record.get('h_t_mu'))} "
+            f"| {_fmt(record.get('predicted_gap'))} "
+            f"| {_fmt(record.get('measured_gap'))} "
+            f"| {_fmt(record.get('relative_gap'))} |"
+        )
+    lines.append("")
+    worst = max(
+        current,
+        key=lambda r: abs(r.get("measured_gap") or 0.0),
+        default=None,
+    )
+    if worst is not None:
+        lines.append(
+            f"**Worst layer: {worst.get('layer', '?')}** — measured gap "
+            f"{_fmt(worst.get('measured_gap'))} "
+            f"(predicted {_fmt(worst.get('predicted_gap'))}, "
+            f"relative {_fmt(worst.get('relative_gap'))})"
+        )
+        lines.append("")
+
+
 def render_report(data: RunData) -> str:
     """The full markdown report of one run."""
     lines = [f"# Run report — `{data.run_dir}`", ""]
+
+    for warning in data.warnings:
+        lines.append(f"> ⚠ {warning}")
+    if data.warnings:
+        lines.append("")
 
     lines.append(f"## Spans ({len(data.spans)})")
     lines.append("")
@@ -162,6 +261,9 @@ def render_report(data: RunData) -> str:
     if not (counters or gauges or histograms):
         lines.append("_no metrics recorded_")
         lines.append("")
+
+    if data.drift:
+        _render_drift(data, lines)
 
     log_events = [e for e in data.events if e.get("kind") == "log"]
     lines.append(f"## Events ({len(data.events)} total, {len(log_events)} log)")

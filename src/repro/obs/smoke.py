@@ -50,7 +50,7 @@ def main(argv=None) -> int:
 
     # Run directories append across runs; a smoke check wants a fresh
     # timeline so the assertions below see exactly one pipeline.
-    for artefact in ("trace.jsonl", "events.jsonl", "metrics.json"):
+    for artefact in ("trace.jsonl", "events.jsonl", "metrics.json", "drift.jsonl"):
         path = os.path.join(args.run_dir, artefact)
         if os.path.exists(path):
             os.remove(path)
@@ -76,12 +76,16 @@ def main(argv=None) -> int:
     if not spike_histograms:
         print("SMOKE FAILED: no per-layer spike-rate histograms recorded")
         return 1
+    if not run.drift:
+        print("SMOKE FAILED: no conversion-drift records in drift.jsonl")
+        return 1
 
     if args.report:
         print(render_report(run))
     print(
         f"smoke ok: {len(run.spans)} spans, "
         f"{len(spike_histograms)} spike-rate histograms, "
+        f"{len(run.drift)} drift records, "
         f"dnn={result.dnn_accuracy:.3f} "
         f"conversion={result.conversion_accuracy:.3f} "
         f"(trace: {trace_path})"

@@ -49,6 +49,37 @@ class TimingResult:
     def maximum(self) -> float:
         return max(self.samples)
 
+    def percentile(self, q: float) -> float:
+        """Linearly interpolated percentile ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self.samples:
+            raise ValueError("no timing samples recorded")
+        ordered = sorted(self.samples)
+        position = (len(ordered) - 1) * q / 100.0
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return ordered[low]
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def summary(self) -> dict:
+        """JSON-ready distribution summary (what the bench files store)."""
+        return {
+            "repeats": len(self.samples),
+            "mean_s": self.mean,
+            "median_s": self.median,
+            "std_s": self.std,
+            "min_s": self.minimum,
+            "max_s": self.maximum,
+            "p95_s": self.p95,
+        }
+
 
 def time_callable(fn: Callable[[], None], repeats: int = 3, warmup: int = 1) -> TimingResult:
     """Time ``fn`` ``repeats`` times after ``warmup`` discarded runs."""

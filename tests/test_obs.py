@@ -172,6 +172,26 @@ class TestMetrics:
         assert snap["histograms"]["h{layer=2}"]["count"] == 1
         json.dumps(snap)  # JSON-serialisable
 
+    def test_empty_histogram_percentile_raises(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("empty")
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.percentile(50.0)
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.median
+        # The aggregate accessors stay well-defined without samples.
+        assert hist.mean == 0.0
+        assert hist.std == 0.0
+
+    def test_empty_histogram_snapshot_serialisable(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty")
+        snap = registry.snapshot()
+        payload = snap["histograms"]["empty"]
+        assert payload["count"] == 0
+        assert payload["p50"] is None and payload["p95"] is None
+        json.dumps(snap)
+
     def test_global_writers_noop_when_disabled(self):
         obs_metrics.inc("nope")
         obs_metrics.gauge("nope", 1.0)
@@ -309,6 +329,35 @@ class TestReport:
         report = render_report(load_run(str(tmp_path)))
         assert "no spans recorded" in report
 
+    def test_partial_run_renders_with_warnings(self, tmp_path):
+        """A run dir missing spans/metrics degrades to a partial report
+        with one warning line per missing artefact, not an exception."""
+        (tmp_path / "events.jsonl").write_text(
+            json.dumps({"kind": "log", "level": "info", "message": "hi"}) + "\n"
+        )
+        run = load_run(str(tmp_path))
+        assert len(run.events) == 1
+        assert any("trace.jsonl" in w for w in run.warnings)
+        assert any("metrics.json" in w for w in run.warnings)
+        report = render_report(run)
+        assert "⚠" in report
+        assert "no spans recorded" in report
+        assert "1 log" in report
+
+    def test_corrupt_artefact_warns_instead_of_raising(self, tmp_path):
+        (tmp_path / "trace.jsonl").write_text("{not json\n")
+        (tmp_path / "metrics.json").write_text("{broken")
+        run = load_run(str(tmp_path))
+        assert run.spans == [] and run.metrics == {}
+        assert any("trace.jsonl" in w and "unreadable" in w for w in run.warnings)
+        assert any("metrics.json" in w and "unreadable" in w for w in run.warnings)
+        render_report(run)  # still renders
+
+    def test_missing_drift_is_not_a_warning(self, tmp_path):
+        run = load_run(str(tmp_path))
+        assert not any("drift" in w for w in run.warnings)
+        assert "Conversion drift" not in render_report(run)
+
 
 class TestPipelineTracing:
     def test_run_pipeline_writes_nested_trace(self, tmp_path):
@@ -365,6 +414,101 @@ class TestPipelineTracing:
         # Scaling-factor trajectories were gauged per layer.
         assert "conversion.mu{layer=0}" in run.metrics["gauges"]
         assert "algorithm1.residual{layer=0}" in histograms
+
+
+@pytest.fixture(scope="module")
+def drift_setup():
+    """A tiny (untrained) MLP conversion — enough for drift diagnosis."""
+    from repro.conversion import ConversionConfig, convert_dnn_to_snn
+    from repro.data import DataLoader
+    from repro.nn import ReLU, Sequential
+
+    rng = np.random.default_rng(7)
+    model = Sequential(
+        Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng), ReLU(),
+        Linear(3, 2, rng=rng),
+    )
+    loader = DataLoader(rng.random((16, 4)), rng.integers(0, 2, 16), 8)
+    conversion = convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2))
+    return model, conversion, loader
+
+
+class TestDriftMonitor:
+    def test_jsonl_series_across_phases(self, tmp_path, drift_setup):
+        model, conversion, loader = drift_setup
+        registry = MetricsRegistry()
+        with obs.DriftMonitor(
+            conversion, model, loader, registry=registry, run_dir=str(tmp_path)
+        ) as monitor:
+            reports = monitor.snapshot("post_conversion")
+            monitor.snapshot("epoch", epoch=1)
+        layers = len(conversion.specs)
+        assert len(reports) == layers
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "drift.jsonl").read_text().strip().splitlines()
+        ]
+        assert len(records) == 2 * layers
+        assert all(r["kind"] == "drift" for r in records)
+        assert {r["snapshot"] for r in records} == {0, 1}
+        assert records[-1]["phase"] == "epoch"
+        assert records[-1]["epoch"] == 1
+        for key in ("mu", "alpha", "beta", "k_mu", "h_t_mu",
+                    "predicted_gap", "measured_gap", "relative_gap"):
+            assert key in records[0]
+        # Gauges landed per layer with full trajectories (one per snapshot).
+        gauge = registry.gauge("conversion.drift.measured_gap", layer=0)
+        assert len(gauge.trajectory) == 2
+
+    def test_worst_layer_callout(self, drift_setup):
+        model, conversion, loader = drift_setup
+        monitor = obs.DriftMonitor(
+            conversion, model, loader, registry=MetricsRegistry()
+        )
+        assert monitor.worst() is None
+        monitor.snapshot("post_conversion")
+        worst = monitor.worst()
+        assert worst is not None
+        assert abs(worst["measured_gap"]) == max(
+            abs(r["measured_gap"]) for r in monitor.snapshots
+        )
+        assert monitor.worst(phase="nope") is None
+
+    def test_uses_active_run_dir_and_report_section(self, tmp_path, drift_setup):
+        model, conversion, loader = drift_setup
+        with obs.observe(str(tmp_path)):
+            monitor = obs.DriftMonitor(conversion, model, loader)
+            monitor.snapshot("post_conversion")
+            monitor.close()
+        run = load_run(str(tmp_path))
+        assert len(run.drift) == len(conversion.specs)
+        report = render_report(run)
+        assert "## Conversion drift" in report
+        assert "Worst layer" in report
+        assert "post_conversion" in report
+        # The global registry got the per-layer gauges while enabled.
+        assert (
+            obs.get_registry().gauge(
+                "conversion.drift.predicted_gap", layer=0
+            ).value is not None
+        )
+
+    def test_global_registry_untouched_when_disabled(self, tmp_path, drift_setup):
+        model, conversion, loader = drift_setup
+        monitor = obs.DriftMonitor(
+            conversion, model, loader, run_dir=str(tmp_path)
+        )
+        monitor.snapshot("post_conversion")
+        monitor.close()
+        # JSONL still written (explicit run_dir)...
+        assert (tmp_path / "drift.jsonl").exists()
+        # ...but the disabled global registry stayed empty.
+        assert len(obs.get_registry()) == 0
+
+    def test_no_batches_rejected(self, drift_setup):
+        model, conversion, _loader = drift_setup
+        with pytest.raises(ValueError):
+            obs.DriftMonitor(conversion, model, [])
 
 
 class TestZeroOverheadWhenDisabled:

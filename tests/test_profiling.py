@@ -154,6 +154,30 @@ class TestTiming:
         )
         assert TimingResult(samples=[0.5]).std == 0.0
 
+    def test_percentile_interpolates(self):
+        result = TimingResult(samples=[1.0, 2.0, 3.0, 4.0])
+        assert result.percentile(0.0) == 1.0
+        assert result.percentile(100.0) == 4.0
+        assert result.percentile(50.0) == result.median
+        assert result.p95 == pytest.approx(np.percentile([1, 2, 3, 4], 95))
+
+    def test_percentile_validation(self):
+        result = TimingResult(samples=[1.0])
+        with pytest.raises(ValueError):
+            result.percentile(101.0)
+        with pytest.raises(ValueError):
+            TimingResult(samples=[]).percentile(50.0)
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        summary = TimingResult(samples=[0.2, 0.1, 0.3]).summary()
+        assert summary["repeats"] == 3
+        assert summary["median_s"] == 0.2
+        assert summary["min_s"] == 0.1 and summary["max_s"] == 0.3
+        assert summary["p95_s"] <= summary["max_s"]
+        json.dumps(summary)
+
     def test_epoch_comparison_speedups(self):
         comparison = EpochTimeComparison(
             labels=["T=2", "T=5"],
