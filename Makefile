@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-baseline microbench quicktest smoke examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke examples clean
 
 install:
 	python setup.py develop
@@ -18,6 +18,14 @@ bench:
 	@mkdir -p results
 	PYTHONPATH=src python -m repro.bench run --out results/bench_current.json
 	PYTHONPATH=src python -m repro.bench compare --candidate results/bench_current.json
+
+# Run the suite now and gate against the newest committed baseline —
+# the pre-merge check for perf-sensitive changes.  Identical gate to
+# `bench`, kept as its own name so CI scripts read as intent.
+bench-check:
+	@mkdir -p results
+	PYTHONPATH=src python -m repro.bench run --out results/bench_check.json --quiet
+	PYTHONPATH=src python -m repro.bench compare --candidate results/bench_check.json
 
 # Record a new committed baseline point (BENCH_<next seq>.json).
 bench-baseline:

@@ -33,6 +33,7 @@ from .registry import (
     unregister_bench,
 )
 from .runner import (
+    ACCEPTED_SCHEMAS,
     SCHEMA,
     SCHEMA_VERSION,
     environment_fingerprint,
@@ -45,6 +46,7 @@ from .runner import (
 )
 
 __all__ = [
+    "ACCEPTED_SCHEMAS",
     "BenchCase",
     "BenchDelta",
     "Comparison",

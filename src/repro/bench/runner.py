@@ -6,16 +6,24 @@ and ``bench.*.seconds`` histograms for free) and assembles one
 JSON-ready report::
 
     {
-      "schema": "repro.bench/v1",
-      "schema_version": 1,
+      "schema": "repro.bench/v2",
+      "schema_version": 2,
       "seq": 3,                      # position in the BENCH_* sequence
       "created_at": <unix time>,
       "environment": {...},          # python/numpy/platform fingerprint
-      "config": {"repeats": ..., "warmup": ..., "filter": ...},
+      "config": {
+        "filter": ...,
+        "overrides": {"repeats": ..., "warmup": ...},   # CLI overrides (may be null)
+        "cases": {"<bench name>": {"repeats": N, "warmup": N}}  # effective
+      },
       "results": {
-        "<bench name>": {"group": ..., "median_s": ..., "p95_s": ..., ...}
+        "<bench name>": {"group": ..., "median_s": ..., "warmup": N, ...}
       }
     }
+
+Schema v2 persists the *effective* per-case repeats/warmup (v1 recorded
+only the raw overrides, so a default run produced an uninformative
+``{"repeats": null, "warmup": null}``); readers accept both versions.
 
 Baselines live at the repository root as ``BENCH_<seq>.json``; the
 sequence number makes the performance trajectory of the repo itself
@@ -37,8 +45,10 @@ from ..obs import get_logger
 from ..obs.instruments import timed
 from .registry import BenchCase, iter_benches
 
-SCHEMA = "repro.bench/v1"
-SCHEMA_VERSION = 1
+SCHEMA = "repro.bench/v2"
+SCHEMA_VERSION = 2
+#: Schema identifiers readers still understand (v1 baselines remain valid).
+ACCEPTED_SCHEMAS = ("repro.bench/v1", SCHEMA)
 BASELINE_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 _log = get_logger("bench")
@@ -74,16 +84,22 @@ def run_benches(
             f"no benchmarks match filter {filter_substring!r}"
         )
     results = {}
+    effective = {}
     for case in cases:
         fn = case.prepare()
         case_repeats = repeats if repeats is not None else case.repeats
         case_warmup = warmup if warmup is not None else case.warmup
+        effective[case.name] = {
+            "repeats": case_repeats, "warmup": case_warmup,
+        }
         timing = timed(
             f"bench.{case.name}", fn,
             repeats=case_repeats, warmup=case_warmup,
             bench=case.name, group=case.group,
         )
-        results[case.name] = {"group": case.group, **timing.summary()}
+        results[case.name] = {
+            "group": case.group, "warmup": case_warmup, **timing.summary()
+        }
         if verbose:
             _log.info(
                 f"{case.name}: median {timing.median * 1e3:.3f} ms "
@@ -99,28 +115,36 @@ def run_benches(
         "created_at": time.time(),
         "environment": environment_fingerprint(),
         "config": {
-            "repeats": repeats,
-            "warmup": warmup,
             "filter": filter_substring,
+            "overrides": {"repeats": repeats, "warmup": warmup},
+            "cases": effective,
         },
         "results": results,
     }
 
 
 def validate_report(report: dict) -> dict:
-    """Schema check; returns the report or raises ``ValueError``."""
+    """Schema check; returns the report or raises ``ValueError``.
+
+    Accepts every schema in :data:`ACCEPTED_SCHEMAS` — v1 baselines
+    (which lack the per-result ``warmup`` and the effective config
+    block) stay loadable and comparable.
+    """
     if not isinstance(report, dict):
         raise ValueError("bench report must be a JSON object")
-    if report.get("schema") != SCHEMA:
+    if report.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(
             f"unsupported bench schema {report.get('schema')!r} "
-            f"(expected {SCHEMA!r})"
+            f"(expected one of {ACCEPTED_SCHEMAS!r})"
         )
     results = report.get("results")
     if not isinstance(results, dict):
         raise ValueError("bench report has no 'results' object")
+    required = ("median_s", "mean_s", "std_s", "p95_s", "repeats")
+    if report["schema"] == SCHEMA:
+        required = required + ("warmup",)
     for name, entry in results.items():
-        for key in ("median_s", "mean_s", "std_s", "p95_s", "repeats"):
+        for key in required:
             if not isinstance(entry.get(key), (int, float)):
                 raise ValueError(
                     f"bench result '{name}' is missing numeric '{key}'"

@@ -124,13 +124,10 @@ def algorithm1_search_fast():
     return run
 
 
-@register_bench("snn.full_forward_t2", group="snn", repeats=3)
-def snn_full_forward():
-    """Full T=2 inference pass through a converted tiny VGG-11."""
+def _converted_tiny_vgg(mode: str):
     from ..conversion import ConversionConfig, convert_dnn_to_snn
     from ..data import DataLoader
     from ..models import vgg11
-    from ..tensor import no_grad
 
     rng = np.random.default_rng(0)
     model = vgg11(
@@ -139,12 +136,78 @@ def snn_full_forward():
     )
     loader = DataLoader(rng.random((16, 3, 8, 8)), rng.integers(0, 10, 16), 16)
     snn = convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2)).snn
+    snn.mode = mode
     snn.eval()
-    images = rng.random((16, 3, 8, 8))
+    return snn, rng.random((16, 3, 8, 8))
+
+
+@register_bench("snn.full_forward_t2", group="snn", repeats=9, warmup=2)
+def snn_full_forward():
+    """Full T=2 inference pass through a converted tiny VGG-11.
+
+    Uses the network's default engine (time-fused, layer-major); the
+    ``_stepwise`` twin below pins the classic step-major loop so the
+    baseline trajectory keeps both engines honest.
+    """
+    from ..tensor import no_grad
+
+    snn, images = _converted_tiny_vgg("fused")
 
     def run():
         with no_grad():
             return snn(images)
 
     assert run().shape == (16, 10)
+    return run
+
+
+@register_bench("snn.full_forward_t2_stepwise", group="snn", repeats=9, warmup=2)
+def snn_full_forward_stepwise():
+    """Same converted network, pinned to the step-major engine."""
+    from ..tensor import no_grad
+
+    snn, images = _converted_tiny_vgg("stepwise")
+
+    def run():
+        with no_grad():
+            return snn(images)
+
+    assert run().shape == (16, 10)
+    return run
+
+
+@register_bench("snn.fused_spike_scan_t4", group="snn")
+def fused_spike_scan_micro():
+    """The vectorised membrane scan alone: T=4 folded IF dynamics."""
+    from ..snn import IFNeuron
+    from ..tensor import Tensor, no_grad
+
+    rng = np.random.default_rng(0)
+    neuron = IFNeuron(v_threshold=1.0)
+    current = Tensor(rng.normal(size=(4 * 32, 64, 8, 8)))
+
+    def run():
+        neuron.reset_state()
+        with no_grad():
+            return neuron.forward_fused(current, 4)
+
+    assert run().shape == current.shape
+    return run
+
+
+@register_bench("snn.sgl_step_t2", group="snn", repeats=5)
+def sgl_train_step():
+    """One SGL fine-tuning step (fused forward + BPTT backward)."""
+    from ..tensor import Tensor
+
+    snn, images = _converted_tiny_vgg("fused")
+    snn.train()
+    x = Tensor(images)
+
+    def run():
+        snn.zero_grad()
+        snn(x).sum().backward()
+
+    run()
+    assert any(p.grad is not None for p in snn.parameters())
     return run

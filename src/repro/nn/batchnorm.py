@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, get_default_dtype
 from .conv import Conv2d
 from .linear import Linear
 from .module import Module, Parameter
@@ -28,8 +28,8 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.gamma = Parameter(np.ones(num_features))
         self.beta = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.running_mean = np.zeros(num_features, dtype=get_default_dtype())
+        self.running_var = np.ones(num_features, dtype=get_default_dtype())
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:

@@ -40,7 +40,7 @@ class Conv2d(Module):
         self.padding = padding
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
-        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return conv2d(

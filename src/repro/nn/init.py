@@ -3,11 +3,19 @@
 All initialisers take an explicit ``numpy.random.Generator`` so model
 construction is fully deterministic given a seed — required for the
 reproducibility of every experiment harness in :mod:`repro.experiments`.
+
+Every initialiser returns arrays in ``repro.tensor``'s default dtype
+(see ``set_default_dtype``), so a model built under the float32 fast
+path never materialises float64 weights.  Draws happen in float64 for
+RNG-stream stability — the same seed yields the same weights (up to
+rounding) under either dtype.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..tensor import get_default_dtype
 
 
 def _fan_in_fan_out(shape) -> tuple:
@@ -24,33 +32,33 @@ def kaiming_normal(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) 
     """He-normal init: std = gain / sqrt(fan_in) (for ReLU family)."""
     fan_in, _ = _fan_in_fan_out(shape)
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape, rng: np.random.Generator, gain: float = np.sqrt(2.0)) -> np.ndarray:
     """He-uniform init: bound = gain * sqrt(3 / fan_in)."""
     fan_in, _ = _fan_in_fan_out(shape)
     bound = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-normal init: std = gain * sqrt(2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
     """Glorot-uniform init."""
     fan_in, fan_out = _fan_in_fan_out(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())

@@ -22,7 +22,13 @@ from .event_driven import (
     sparse_conv2d,
     sparse_linear,
 )
-from .neurons import IFNeuron, LIFNeuron, SpikingNeuron, spike_function
+from .neurons import (
+    IFNeuron,
+    LIFNeuron,
+    SpikingNeuron,
+    fused_spike_scan,
+    spike_function,
+)
 from .pooling import SpikingMaxPool
 from .network import (
     SpikingModule,
@@ -31,6 +37,10 @@ from .network import (
     SpikingSequential,
     StepWrapper,
     TemporalDropout,
+    apply_fused,
+    fold_time,
+    tile_time,
+    unfold_time,
 )
 from .stdp import STDPConfig, STDPLearner, run_stdp_session
 from .surrogate import (
@@ -72,11 +82,16 @@ __all__ = [
     "StepWrapper",
     "TTFSEncoder",
     "TemporalDropout",
+    "apply_fused",
     "arctan_surrogate",
     "available_surrogates",
     "boxcar",
     "fast_sigmoid",
+    "fold_time",
+    "fused_spike_scan",
     "get_surrogate",
     "spike_function",
+    "tile_time",
+    "unfold_time",
     "triangle",
 ]

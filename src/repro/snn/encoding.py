@@ -13,9 +13,16 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..tensor import get_default_dtype
+
 
 class Encoder:
-    """Base encoder: produces the input for each of ``timesteps`` steps."""
+    """Base encoder: produces the input for each of ``timesteps`` steps.
+
+    Inputs are cast to ``repro.tensor``'s default dtype, so the float32
+    fast path (``set_default_dtype(np.float32)``) carries through the
+    whole temporal unroll instead of silently upcasting at the encoder.
+    """
 
     def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
         raise NotImplementedError
@@ -23,7 +30,9 @@ class Encoder:
     def __call__(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
         if timesteps <= 0:
             raise ValueError("timesteps must be positive")
-        return self.encode(np.asarray(images, dtype=np.float64), timesteps)
+        return self.encode(
+            np.asarray(images, dtype=get_default_dtype()), timesteps
+        )
 
 
 class DirectEncoder(Encoder):
@@ -53,8 +62,9 @@ class PoissonEncoder(Encoder):
 
     def encode(self, images: np.ndarray, timesteps: int) -> List[np.ndarray]:
         probs = np.clip(images * self.gain, 0.0, 1.0)
+        dtype = get_default_dtype()
         return [
-            (self.rng.random(probs.shape) < probs).astype(np.float64)
+            (self.rng.random(probs.shape) < probs).astype(dtype)
             for _ in range(timesteps)
         ]
 
@@ -88,8 +98,9 @@ class TTFSEncoder(Encoder):
         clipped = np.clip(images, 0.0, 1.0)
         spike_step = np.floor((1.0 - clipped) * timesteps).astype(np.int64)
         spike_step = np.minimum(spike_step, timesteps - 1)
+        dtype = get_default_dtype()
         frames = []
         for t in range(timesteps):
             fires = (spike_step == t) & (clipped > 0.0)
-            frames.append(fires.astype(np.float64))
+            frames.append(fires.astype(dtype))
         return frames

@@ -8,6 +8,30 @@ accumulates the final linear layer's outputs — the output layer does
 not spike, following standard practice for low-latency SNNs (the class
 decision is the accumulated logit).
 
+Two execution modes compute the identical unroll:
+
+- ``"stepwise"`` — the classic step-major loop: T outer steps, each
+  pushing one frame through every layer.  Every per-step probe (monitor
+  hooks, instance-patched forwards) sees the network exactly as the
+  temporal semantics describe it.
+- ``"fused"`` (default) — layer-major, time-folded execution: the T
+  input frames are packed along the batch axis (``(T*N, C, H, W)``,
+  time-major blocks) so each stateless layer runs **one** GEMM over the
+  folded batch instead of T small ones, and each stateful module
+  (:class:`SpikingNeuron`, :class:`~repro.snn.pooling.SpikingMaxPool`,
+  :class:`TemporalDropout`) consumes the folded tensor with a vectorised
+  scan over the time blocks.  Valid because the body is feed-forward:
+  reordering (step, layer) loops preserves every data dependency.  The
+  fused path produces the same spikes, logits and BPTT gradients as the
+  step-major loop (see ``tests/test_fused_equivalence.py``).
+
+Fused execution degrades gracefully instead of changing semantics:
+a network-level step monitor forces the whole forward back to
+stepwise, and any module whose ``forward`` has been instance-patched
+(the library's probing idiom — event counting, spike rasters,
+calibration taps, spike-rate regularizers) is executed per step on the
+unfolded frames while the rest of the body stays fused.
+
 Structure classes:
 
 - :class:`StepWrapper` — applies a stateless DNN module each step;
@@ -21,14 +45,77 @@ Structure classes:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..nn.batchnorm import BatchNorm2d
+from ..nn.containers import Flatten, Identity
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from ..nn.module import Module
-from ..tensor import Tensor
+from ..tensor import Tensor, concatenate
 from .encoding import DirectEncoder, Encoder
 from .neurons import SpikingNeuron
+
+
+# ----------------------------------------------------------------------
+# Time folding: frames <-> (T*N, ...) batches, time-major blocks
+# ----------------------------------------------------------------------
+def fold_time(frames: List[Tensor]) -> Tensor:
+    """Pack per-step frames into one time-major folded batch."""
+    return concatenate(frames, axis=0)
+
+
+def unfold_time(fused: Tensor, timesteps: int) -> List[Tensor]:
+    """Differentiable inverse of :func:`fold_time` (T row-block slices)."""
+    total = fused.data.shape[0]
+    if timesteps <= 0 or total % timesteps:
+        raise ValueError(
+            f"time-folded batch of {total} rows is not divisible by "
+            f"timesteps={timesteps}"
+        )
+    n = total // timesteps
+    return [fused[t * n:(t + 1) * n] for t in range(timesteps)]
+
+
+def tile_time(frame: Tensor, timesteps: int) -> Tensor:
+    """Repeat one frame T times along the batch axis (direct encoding).
+
+    Backward sums the per-step gradient blocks — exactly the gradient a
+    step-major loop accumulates when the same tensor is presented at
+    every step.
+    """
+    data = frame.data
+    out = np.broadcast_to(data, (timesteps,) + data.shape).reshape(
+        (timesteps * data.shape[0],) + data.shape[1:]
+    )
+
+    def bwd(g):
+        return (g.reshape((timesteps,) + data.shape).sum(axis=0),)
+
+    return Tensor.from_op(out, (frame,), bwd, "tile_time")
+
+
+def _has_patched_forward(module: Module) -> bool:
+    """True when ``forward`` was instance-patched (a per-step probe)."""
+    return "forward" in module.__dict__
+
+
+def apply_fused(module: Module, x: Tensor, timesteps: int) -> Tensor:
+    """Run ``module`` over a time-folded batch, preserving semantics.
+
+    Dispatches to the module's ``forward_fused`` when it has one and its
+    ``forward`` has not been instance-patched; otherwise unfolds the
+    batch and replays the module step by step (correct for any stateful
+    module, and required for probes that tap ``forward`` per step).
+    """
+    fused_fn = getattr(module, "forward_fused", None)
+    if fused_fn is not None and not _has_patched_forward(module):
+        return fused_fn(x, timesteps)
+    return fold_time([module(f) for f in unfold_time(x, timesteps)])
 
 
 class SpikingModule(Module):
@@ -45,12 +132,41 @@ class StepWrapper(SpikingModule):
     """Applies a stateless DNN module (conv / linear / pool / flatten)
     at every time step, sharing its weights across steps."""
 
+    # Inners that are deterministic and act row-wise on the batch axis,
+    # so a time-folded batch through one call equals T per-step calls.
+    _FOLDABLE = (
+        Conv2d, Linear, MaxPool2d, AvgPool2d, GlobalAvgPool2d, Flatten,
+        Identity,
+    )
+
     def __init__(self, inner: Module) -> None:
         super().__init__()
         self.inner = inner
 
     def forward(self, x: Tensor) -> Tensor:
         return self.inner(x)
+
+    def _folds(self) -> bool:
+        """Whether one call on a folded batch matches T per-step calls."""
+        if _has_patched_forward(self.inner):
+            # A per-step probe on the inner module must fire once per
+            # frame, never once on the folded batch.
+            return False
+        if isinstance(self.inner, self._FOLDABLE):
+            return True
+        # Eval-mode BatchNorm is a fixed per-row affine map; in training
+        # it computes batch statistics, which a folded batch would pool
+        # across time steps — run those per step instead.
+        if isinstance(self.inner, BatchNorm2d):
+            return not self.inner.training
+        return False
+
+    def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
+        if self._folds():
+            return self.forward(x)
+        return fold_time(
+            [self.forward(f) for f in unfold_time(x, timesteps)]
+        )
 
     def extra_repr(self) -> str:
         return type(self.inner).__name__
@@ -86,6 +202,23 @@ class TemporalDropout(SpikingModule):
 
         return Tensor.from_op(x.data * mask, (x,), bwd, "temporal_dropout")
 
+    def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        total = x.data.shape[0]
+        frame_shape = (total // timesteps,) + x.data.shape[1:]
+        if self._mask is None or self._mask.shape != frame_shape:
+            # Same RNG draw as the first step-major step: one mask per
+            # frame, shared by all T time blocks.
+            keep = (self.rng.random(frame_shape) >= self.p).astype(x.data.dtype)
+            self._mask = keep / (1.0 - self.p)
+        mask = np.tile(self._mask, (timesteps,) + (1,) * (x.data.ndim - 1))
+
+        def bwd(g):
+            return (g * mask,)
+
+        return Tensor.from_op(x.data * mask, (x,), bwd, "temporal_dropout")
+
     def extra_repr(self) -> str:
         return f"p={self.p}"
 
@@ -108,6 +241,11 @@ class SpikingSequential(SpikingModule):
     def forward(self, x: Tensor) -> Tensor:
         for layer in self._layer_list:
             x = layer(x)
+        return x
+
+    def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
+        for layer in self._layer_list:
+            x = apply_fused(layer, x, timesteps)
         return x
 
     def __iter__(self) -> Iterator[Module]:
@@ -147,6 +285,17 @@ class SpikingResidualBlock(SpikingModule):
         branch = self.conv2(self.neuron1(self.conv1(x)))
         return self.neuron2(branch + self.shortcut(x))
 
+    def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
+        branch = apply_fused(
+            self.conv2,
+            apply_fused(
+                self.neuron1, apply_fused(self.conv1, x, timesteps), timesteps
+            ),
+            timesteps,
+        )
+        shortcut = apply_fused(self.shortcut, x, timesteps)
+        return apply_fused(self.neuron2, branch + shortcut, timesteps)
+
 
 class SpikingNetwork(SpikingModule):
     """A converted SNN: encoder, spiking body, and the temporal loop.
@@ -165,9 +314,19 @@ class SpikingNetwork(SpikingModule):
     ``forward`` accepts a numpy batch or Tensor and returns the
     time-averaged logits; differentiable end-to-end through the unroll
     (BPTT) for SGL fine-tuning.
+
+    ``mode`` selects the execution engine: ``"fused"`` (default) folds
+    the T frames into the batch axis so each stateless layer runs one
+    GEMM and neurons scan their membranes over the time blocks;
+    ``"stepwise"`` is the classic step-major loop.  Both produce
+    equivalent logits, spike counts and BPTT gradients.  A fused network
+    falls back to stepwise automatically while a step monitor is
+    attached (the per-step hook observes whole-network state at step
+    boundaries, which layer-major execution never materialises).
     """
 
     OUTPUT_MODES = ("mean", "max", "last")
+    MODES = ("fused", "stepwise")
 
     def __init__(
         self,
@@ -175,6 +334,7 @@ class SpikingNetwork(SpikingModule):
         timesteps: int,
         encoder: Optional[Encoder] = None,
         output_mode: str = "mean",
+        mode: str = "fused",
     ) -> None:
         super().__init__()
         if timesteps <= 0:
@@ -184,6 +344,10 @@ class SpikingNetwork(SpikingModule):
                 f"output_mode must be one of {self.OUTPUT_MODES}, got "
                 f"'{output_mode}'"
             )
+        if mode not in self.MODES:
+            raise ValueError(
+                f"mode must be one of {self.MODES}, got '{mode}'"
+            )
         self.body = body
         self.timesteps = timesteps
         self.encoder = encoder if encoder is not None else DirectEncoder()
@@ -191,6 +355,7 @@ class SpikingNetwork(SpikingModule):
         # steps (the paper's choice); "max" takes the elementwise max
         # over steps; "last" reads only the final step.
         self.output_mode = output_mode
+        self.mode = mode
         # Per-timestep observer (repro.obs.instruments.StepMonitor);
         # None keeps the temporal loop on its fast path.
         self._step_monitor = None
@@ -200,26 +365,61 @@ class SpikingNetwork(SpikingModule):
     # ------------------------------------------------------------------
     def attach_monitor(self, monitor) -> None:
         """Install an object whose ``on_step(step, network)`` is called
-        after every simulated time step (see ``repro.obs.monitored``)."""
+        after every simulated time step (see ``repro.obs.monitored``).
+
+        While a monitor is attached, forward passes run stepwise even in
+        fused mode, so the hook sees true step-boundary state."""
         self._step_monitor = monitor
 
     def detach_monitor(self) -> None:
         self._step_monitor = None
 
+    # ------------------------------------------------------------------
+    # Execution-mode plumbing
+    # ------------------------------------------------------------------
+    def resolved_mode(self) -> str:
+        """The engine the next forward pass will actually use."""
+        if self.mode == "stepwise" or self._step_monitor is not None:
+            return "stepwise"
+        return "fused"
+
+    @contextmanager
+    def using_mode(self, mode: str):
+        """Pin the execution mode within a block (probes force stepwise)."""
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got '{mode}'")
+        previous = self.mode
+        self.mode = mode
+        try:
+            yield self
+        finally:
+            self.mode = previous
+
     def forward(self, images) -> Tensor:
         self.reset_state()
-        if (
-            isinstance(images, Tensor)
-            and images.requires_grad
-            and isinstance(self.encoder, DirectEncoder)
-        ):
-            # Keep the input in the autograd graph (direct encoding
-            # presents the same tensor every step), so gradients w.r.t.
-            # the input are available — used by FGSM robustness probes.
-            frames = [images] * self.timesteps
-        else:
+        if self.resolved_mode() == "fused":
+            return self._forward_fused(images)
+        return self._forward_stepwise(images)
+
+    def _encode_input(self, images) -> Tuple[Optional[Tensor], List[Tensor]]:
+        """Returns ``(direct_frame, frames)``: a single in-graph frame
+        under direct encoding (presented every step), or the encoded
+        per-step frame list otherwise."""
+        if isinstance(self.encoder, DirectEncoder):
+            if isinstance(images, Tensor) and images.requires_grad:
+                # Keep the input in the autograd graph (direct encoding
+                # presents the same tensor every step), so gradients
+                # w.r.t. the input are available — used by FGSM probes.
+                return images, []
             data = images.data if isinstance(images, Tensor) else np.asarray(images)
-            frames = [Tensor(f) for f in self.encoder(data, self.timesteps)]
+            return Tensor(self.encoder(data, self.timesteps)[0]), []
+        data = images.data if isinstance(images, Tensor) else np.asarray(images)
+        return None, [Tensor(f) for f in self.encoder(data, self.timesteps)]
+
+    def _forward_stepwise(self, images) -> Tensor:
+        direct_frame, frames = self._encode_input(images)
+        if direct_frame is not None:
+            frames = [direct_frame] * self.timesteps
         from ..tensor import maximum
 
         total: Optional[Tensor] = None
@@ -236,6 +436,85 @@ class SpikingNetwork(SpikingModule):
         if self.output_mode == "mean":
             return total * (1.0 / self.timesteps)
         return total
+
+    def _forward_fused(self, images) -> Tensor:
+        timesteps = self.timesteps
+        direct_frame, frames = self._encode_input(images)
+        if direct_frame is not None:
+            # Direct encoding presents identical frames: evaluate the
+            # leading stateless prefix once on (N, ...) and tile its
+            # output T times, so the first weight layer(s) never
+            # recompute the same result per step.
+            prefix, rest = self._direct_prefix()
+            out = direct_frame
+            for wrapper in prefix:
+                out = wrapper(out)
+            fused = tile_time(out, timesteps)
+            for layer in rest:
+                fused = apply_fused(layer, fused, timesteps)
+        else:
+            fused = fold_time(frames)
+            fused = apply_fused(self.body, fused, timesteps)
+        return self._decode_output(fused)
+
+    def _direct_prefix(self) -> Tuple[List[Module], List[Module]]:
+        """Split a sequential body into (stateless prefix, remainder).
+
+        The prefix is the leading run of :class:`StepWrapper` layers
+        whose output is provably identical at every step under direct
+        encoding — deterministic, row-wise inners with no per-step
+        probes attached.  Nested, unpatched :class:`SpikingSequential`
+        containers are flattened first (chaining their layers over the
+        folded batch equals running the container), so converter-built
+        bodies like ``SpikingSequential(features, classifier)`` still
+        expose their leading conv stack.  Non-sequential bodies get an
+        empty prefix.
+        """
+        if not isinstance(self.body, SpikingSequential):
+            return [], [self.body]
+
+        def flatten(seq: SpikingSequential) -> List[Module]:
+            flat: List[Module] = []
+            for layer in seq:
+                if isinstance(layer, SpikingSequential) and not _has_patched_forward(layer):
+                    flat.extend(flatten(layer))
+                else:
+                    flat.append(layer)
+            return flat
+
+        if _has_patched_forward(self.body):
+            return [], [self.body]
+        layers = flatten(self.body)
+        prefix: List[Module] = []
+        for layer in layers:
+            if (
+                isinstance(layer, StepWrapper)
+                and layer._folds()
+                and not _has_patched_forward(layer)
+            ):
+                prefix.append(layer)
+            else:
+                break
+        return prefix, layers[len(prefix):]
+
+    def _decode_output(self, fused: Tensor) -> Tensor:
+        """Reduce the time-folded output blocks per ``output_mode``."""
+        timesteps = self.timesteps
+        per_step = fused.reshape(
+            (timesteps, fused.data.shape[0] // timesteps) + fused.data.shape[1:]
+        )
+        if self.output_mode == "mean":
+            return per_step.mean(axis=0)
+        if self.output_mode == "max":
+            from ..tensor import maximum
+
+            # Fold pairwise in step order — the same tie-handling as the
+            # stepwise loop's running maximum.
+            total = per_step[0]
+            for t in range(1, timesteps):
+                total = maximum(total, per_step[t])
+            return total
+        return per_step[timesteps - 1]
 
     # ------------------------------------------------------------------
     # Spiking statistics
@@ -255,4 +534,7 @@ class SpikingNetwork(SpikingModule):
         return sum(neuron.spike_count for neuron in self.spiking_neurons())
 
     def extra_repr(self) -> str:
-        return f"timesteps={self.timesteps}, encoder={type(self.encoder).__name__}"
+        return (
+            f"timesteps={self.timesteps}, "
+            f"encoder={type(self.encoder).__name__}, mode={self.mode}"
+        )

@@ -22,12 +22,12 @@ Notes
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..nn.module import Module, Parameter
-from ..tensor import Tensor
+from ..tensor import GradMode, Tensor
 from .surrogate import SurrogateFn, get_surrogate
 
 
@@ -53,7 +53,8 @@ def spike_function(
     if v_th <= 0:
         raise ValueError(f"spiking threshold must be positive, got {v_th}")
     fired = u_temp.data > v_th
-    out = np.where(fired, beta * v_th, 0.0)
+    dtype = u_temp.data.dtype
+    out = np.where(fired, dtype.type(beta * v_th), dtype.type(0.0))
     window = surrogate(u_temp.data, v_th)
 
     def bwd(g):
@@ -62,6 +63,156 @@ def spike_function(
         return (gu, np.full(v_threshold.data.shape, gv))
 
     return Tensor.from_op(out, (u_temp, v_threshold), bwd, "spike")
+
+
+def fused_spike_scan(
+    current: Tensor,
+    v_threshold: Tensor,
+    leak: Tensor,
+    beta: float,
+    surrogate: SurrogateFn,
+    timesteps: int,
+    reset_mode: str = "soft",
+    initial_potential: float = 0.0,
+) -> Tuple[Tensor, np.ndarray, float]:
+    """Membrane dynamics over a time-folded batch as one differentiable op.
+
+    ``current`` packs the per-step input currents time-major along the
+    batch axis: row block ``t`` (rows ``t*N .. (t+1)*N``) is the current
+    of step ``t``.  The forward pass runs the Eq. (2)-(4) recurrence as a
+    vectorised scan over the ``T`` blocks (cheap elementwise work — the
+    expensive GEMMs upstream already ran once on the folded batch) and the
+    single backward function replays the scan in reverse, producing the
+    same gradients BPTT accumulates through the step-major chain of
+    ``spike_function`` / reset ops: the surrogate window routes credit at
+    each step, residual membrane carries ``leak *`` gradient to the
+    previous step, and threshold/leak receive their summed contributions.
+
+    Returns ``(spikes, final_membrane, fired_total)``: the spike train in
+    the same time-folded layout, the post-scan membrane ``U(T)`` (shape of
+    one frame), and the total number of emitted spikes — the by-products
+    :meth:`SpikingNeuron.forward_fused` needs for state and statistics.
+    """
+    data = current.data
+    if timesteps <= 0 or data.shape[0] % timesteps:
+        raise ValueError(
+            f"time-folded batch of {data.shape[0]} rows is not divisible "
+            f"by timesteps={timesteps}"
+        )
+    v_th = float(v_threshold.data.reshape(-1)[0])
+    if v_th <= 0:
+        raise ValueError(f"spiking threshold must be positive, got {v_th}")
+    leak_val = float(leak.data.reshape(-1)[0])
+    n = data.shape[0] // timesteps
+    frames = data.reshape((timesteps, n) + data.shape[1:])
+    dtype = data.dtype
+    amp = dtype.type(beta * v_th)
+    zero = dtype.type(0.0)
+
+    # The surrogate windows and entering membranes exist only to serve
+    # the backward scan — skip them entirely on inference passes.
+    needs_grad = GradMode.is_enabled() and (
+        current.requires_grad
+        or v_threshold.requires_grad
+        or leak.requires_grad
+    )
+    out = np.empty_like(frames)
+    fired_all = np.empty(frames.shape, dtype=bool)
+
+    if not needs_grad:
+        # Inference fast path: update the membrane in place and skip the
+        # surrogate windows / entering-membrane history entirely.  Every
+        # elementwise op writes into a preallocated buffer — the spike
+        # rows of ``out``, the ``fired_all`` rows, one reset temporary —
+        # so the scan allocates nothing per step.
+        u = np.full(frames.shape[1:], initial_potential, dtype=dtype)
+        reset_tmp = None if beta == 1.0 else np.empty_like(u)
+        for t in range(timesteps):
+            if leak_val != 1.0:
+                u *= dtype.type(leak_val)
+            u += frames[t]
+            fired = fired_all[t]
+            np.greater(u, v_th, out=fired)
+            np.multiply(fired, amp, out=out[t])
+            if reset_mode == "soft":
+                if beta == 1.0:
+                    # amp == v_th: the spike row already is v_th * fired.
+                    u -= out[t]
+                else:
+                    np.multiply(fired, dtype.type(v_th), out=reset_tmp)
+                    u -= reset_tmp
+            else:
+                u[fired] = zero
+        return Tensor(out.reshape(data.shape), dtype=dtype), u, float(fired_all.sum())
+
+    windows = np.empty_like(frames)
+    u_prev = np.empty_like(frames)  # membrane entering each step
+    u = np.full(frames.shape[1:], initial_potential, dtype=dtype)
+    for t in range(timesteps):
+        u_prev[t] = u
+        u_tmp = u * leak_val + frames[t]
+        fired = u_tmp > v_th
+        fired_all[t] = fired
+        out[t] = np.where(fired, amp, zero)
+        windows[t] = surrogate(u_tmp, v_th)
+        if reset_mode == "soft":
+            u = u_tmp - v_th * fired.astype(dtype)
+        else:
+            u = np.where(fired, zero, u_tmp)
+
+    spikes = Tensor.from_op(
+        out.reshape(data.shape),
+        (current, v_threshold, leak),
+        _fused_scan_backward(
+            frames.shape, data.shape, windows, fired_all, u_prev,
+            beta, leak_val, reset_mode,
+            v_threshold, leak,
+        ),
+        "fused_spike_scan",
+    )
+    return spikes, u, float(fired_all.sum())
+
+
+def _fused_scan_backward(
+    frame_shape, flat_shape, windows, fired_all, u_prev,
+    beta, leak_val, reset_mode, v_threshold, leak,
+):
+    """Reverse-time adjoint of the fused scan (one closure per forward)."""
+    timesteps = frame_shape[0]
+
+    def bwd(g):
+        g_frames = g.reshape(frame_shape)
+        grad_current = np.empty(frame_shape, dtype=g.dtype)
+        gv = 0.0
+        gleak = 0.0
+        grad_u = None  # gradient w.r.t. the post-reset membrane U(t)
+        for t in range(timesteps - 1, -1, -1):
+            gs = g_frames[t]
+            window = windows[t]
+            fired = fired_all[t]
+            g_utmp = gs * window
+            if grad_u is not None:
+                if reset_mode == "soft":
+                    # U(t) = U_tmp(t) - V^th * 1{spike}: pass-through to
+                    # U_tmp, minus the summed fired mask into V^th.
+                    g_utmp = g_utmp + grad_u
+                    gv -= float((grad_u * fired).sum())
+                else:
+                    # Hard reset detaches the fired branch.
+                    g_utmp = g_utmp + np.where(fired, 0.0, grad_u)
+            gv += float((gs * (beta * fired.astype(gs.dtype) - window)).sum())
+            gleak += float((g_utmp * u_prev[t]).sum())
+            grad_current[t] = g_utmp
+            grad_u = leak_val * g_utmp
+        return (
+            grad_current.reshape(flat_shape),
+            np.full(v_threshold.data.shape, gv, dtype=v_threshold.data.dtype)
+            if v_threshold.requires_grad else None,
+            np.full(leak.data.shape, gleak, dtype=leak.data.dtype)
+            if leak.requires_grad else None,
+        )
+
+    return bwd
 
 
 class SpikingNeuron(Module):
@@ -173,6 +324,39 @@ class SpikingNeuron(Module):
             self.spike_count += float(fired_mask.sum())
             self.neuron_count = int(np.prod(current.data.shape[1:]))
             self.step_count += 1
+        return spikes
+
+    def forward_fused(self, current: Tensor, timesteps: int) -> Tensor:
+        """Advance all ``timesteps`` steps over a time-folded batch.
+
+        ``current`` packs the per-step currents time-major along the
+        batch axis (``(T*N, ...)``; rows ``t*N..(t+1)*N`` are step ``t``).
+        Equivalent to ``timesteps`` calls of :meth:`forward` on the
+        unfolded frames — same spikes, same BPTT gradients — but the
+        membrane recurrence runs as one vectorised scan.
+        """
+        if self.membrane is not None:
+            raise RuntimeError(
+                "forward_fused requires a cleared membrane; call "
+                "reset_state() before a fused pass"
+            )
+        spikes, final_membrane, fired_total = fused_spike_scan(
+            current,
+            self.v_threshold,
+            self.leak,
+            self.beta,
+            self.surrogate,
+            timesteps,
+            reset_mode=self.reset_mode,
+            initial_potential=self.initial_potential,
+        )
+        # Expose the last-step membrane (detached) for post-hoc probes;
+        # the in-graph recurrence lives inside the scan's backward.
+        self.membrane = Tensor(final_membrane, dtype=final_membrane.dtype)
+        if self.recording:
+            self.spike_count += fired_total
+            self.neuron_count = int(np.prod(current.data.shape[1:]))
+            self.step_count += timesteps
         return spikes
 
     def extra_repr(self) -> str:

@@ -59,10 +59,11 @@ class SpikingMaxPool(SpikingModule):
             self._counts = np.zeros_like(frames)
         self._counts += frames
         winners = self._counts.argmax(axis=-1)
-        gate = np.eye(k * k, dtype=x.data.dtype)[winners]
-        out = (frames * gate).sum(axis=-1)
+        out = np.take_along_axis(frames, winners[..., None], axis=-1)[..., 0]
 
         def bwd(g):
+            # One-hot gate materialised lazily: only backward needs it.
+            gate = np.eye(k * k, dtype=g.dtype)[winners]
             g_win = g[..., None] * gate
             gx = (
                 g_win.reshape(n, c, out_h, out_w, k, k)
@@ -72,6 +73,54 @@ class SpikingMaxPool(SpikingModule):
             return (gx,)
 
         return Tensor.from_op(out, (x,), bwd, "spiking_max_pool")
+
+    def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
+        """Scan the rate-gating dynamics over a time-folded batch.
+
+        The running window counts at step ``t`` are the cumulative sum
+        of the window views over the leading time blocks — computed in
+        the same left-to-right order as the stepwise ``+=``, so winners
+        (and argmax tie-breaks) are bit-identical.
+        """
+        total, c, h, w = x.data.shape
+        if timesteps <= 0 or total % timesteps:
+            raise ValueError(
+                f"time-folded batch of {total} rows is not divisible by "
+                f"timesteps={timesteps}"
+            )
+        n = total // timesteps
+        k = self.kernel_size
+        if h % k or w % k:
+            raise ValueError(f"spatial size {h}x{w} not divisible by pool {k}")
+        out_h, out_w = h // k, w // k
+        # (T, N, C, out_h, out_w, k*k) window views, time-major.
+        frames = (
+            x.data.reshape(timesteps, n, c, out_h, k, out_w, k)
+            .transpose(0, 1, 2, 3, 5, 4, 6)
+            .reshape(timesteps, n, c, out_h, out_w, k * k)
+        )
+        counts = np.cumsum(frames, axis=0)
+        if self._counts is not None and self._counts.shape == counts.shape[1:]:
+            counts += self._counts
+        winners = counts.argmax(axis=-1)
+        out = (
+            np.take_along_axis(frames, winners[..., None], axis=-1)[..., 0]
+            .reshape(total, c, out_h, out_w)
+        )
+        self._counts = counts[-1].copy()
+
+        def bwd(g):
+            # One-hot gate materialised lazily: only backward needs it.
+            gate = np.eye(k * k, dtype=g.dtype)[winners]
+            g_win = g.reshape(timesteps, n, c, out_h, out_w)[..., None] * gate
+            gx = (
+                g_win.reshape(timesteps, n, c, out_h, out_w, k, k)
+                .transpose(0, 1, 2, 3, 5, 4, 6)
+                .reshape(total, c, h, w)
+            )
+            return (gx,)
+
+        return Tensor.from_op(out, (x,), bwd, "spiking_max_pool_fused")
 
     def extra_repr(self) -> str:
         return f"kernel_size={self.kernel_size}"

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+from numpy.lib.stride_tricks import as_strided
 
 from .tensor import Tensor
 
@@ -46,8 +46,16 @@ def _im2col(
     n, c, h, w = x.shape
     out_h = (h - kernel) // stride + 1
     out_w = (w - kernel) // stride + 1
-    windows = sliding_window_view(x, (kernel, kernel), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]
+    # Direct window view: one as_strided call instead of
+    # sliding_window_view + stride slicing (the conv hot path is called
+    # once per layer per forward, so fixed per-call cost matters).
+    sn, sc, sh, sw = x.strides
+    windows = as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
     # (N, C, out_h, out_w, KH, KW) -> (N, out_h, out_w, C, KH, KW)
     cols = windows.transpose(0, 2, 3, 1, 4, 5)
     return cols, out_h, out_w
@@ -105,18 +113,28 @@ def conv2d(
         raise ValueError("only square kernels are supported")
     kernel = kh
 
-    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    if padding:
+        # Preallocate + slice-assign: cheaper than np.pad's general
+        # machinery, and a no-op allocation when padding == 0.
+        padded_shape = (n, c_in, h + 2 * padding, w + 2 * padding)
+        x_padded = np.zeros(padded_shape, dtype=x.data.dtype)
+        x_padded[:, :, padding:padding + h, padding:padding + w] = x.data
+    else:
+        x_padded = x.data
     cols, out_h, out_w = _im2col(x_padded, kernel, stride)
-    cols_mat = cols.reshape(n * out_h * out_w, c_in * kernel * kernel)
+    # Pack the strided window view into one contiguous buffer; this single
+    # copy feeds the forward GEMM and is reused verbatim by the
+    # weight-gradient GEMM in backward.
+    mat_shape = (n * out_h * out_w, c_in * kernel * kernel)
+    cols_mat = np.ascontiguousarray(cols).reshape(mat_shape)
+    del cols  # drop the strided view; only the packed buffer stays alive
     w_mat = weight.data.reshape(c_out, -1)
     out = cols_mat @ w_mat.T
     if bias is not None:
-        out = out + bias.data
+        np.add(out, bias.data, out=out)  # GEMM output is fresh: add in place
     out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
 
     padded_shape = x_padded.shape
-    # Materialise the columns for the weight-grad GEMM lazily in bwd; the
-    # strided view is kept alive via the closure.
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def bwd(g):

@@ -45,6 +45,7 @@ def _small_report(**medians) -> dict:
         results[name] = {
             "group": "test",
             "repeats": 3,
+            "warmup": 0,
             "mean_s": median,
             "median_s": median,
             "std_s": 0.0,
@@ -61,6 +62,17 @@ def _small_report(**medians) -> dict:
         "config": {},
         "results": results,
     }
+
+
+def _v1_report(**medians) -> dict:
+    """A legacy schema-v1 report: no per-result warmup, raw config."""
+    report = _small_report(**medians)
+    report["schema"] = "repro.bench/v1"
+    report["schema_version"] = 1
+    report["config"] = {"repeats": None, "warmup": None, "filter": None}
+    for entry in report["results"].values():
+        del entry["warmup"]
+    return report
 
 
 class TestRegistry:
@@ -98,11 +110,38 @@ class TestRunner:
         validate_report(report)
         entry = report["results"][fast_bench]
         assert entry["repeats"] == 2
+        assert entry["warmup"] == 0
         assert entry["group"] == "test"
         assert entry["median_s"] >= 0.0
         assert entry["p95_s"] >= entry["median_s"] >= entry["min_s"]
         assert report["environment"]["python"]
         json.dumps(report)
+
+    def test_effective_config_persisted(self, fast_bench):
+        # No overrides: the case's own policy must land in the report
+        # (v1 recorded only nulls here, leaving baselines undescribed).
+        report = run_benches(filter_substring="fast_noop", verbose=False)
+        assert report["schema"] == "repro.bench/v2"
+        assert report["config"]["overrides"] == {
+            "repeats": None, "warmup": None,
+        }
+        assert report["config"]["cases"][fast_bench] == {
+            "repeats": 2, "warmup": 0,
+        }
+        assert report["results"][fast_bench]["repeats"] == 2
+        assert report["results"][fast_bench]["warmup"] == 0
+
+    def test_v1_reports_still_validate(self):
+        report = _v1_report(k=1.0)
+        assert validate_report(report) is report
+        # A v2 report without per-result warmup is rejected…
+        broken = _small_report(k=1.0)
+        del broken["results"]["k"]["warmup"]
+        with pytest.raises(ValueError):
+            validate_report(broken)
+        # …but the same shape under the v1 schema id is fine.
+        broken["schema"] = "repro.bench/v1"
+        validate_report(broken)
 
     def test_no_match_rejected(self):
         with pytest.raises(ValueError):
@@ -146,6 +185,16 @@ class TestCompare:
         assert len(comparison.deltas) == 2
         assert all(d.ratio == pytest.approx(1.0) for d in comparison.deltas)
         assert "OK: no regressions" in comparison.render()
+
+    def test_v1_baseline_vs_v2_candidate(self):
+        # Migration path: the committed BENCH_0.json is v1; candidates
+        # recorded by the current runner are v2.  Both directions work.
+        baseline = _v1_report(k=0.010)
+        candidate = _small_report(k=0.011)
+        assert compare_reports(baseline, candidate).ok
+        assert compare_reports(candidate, baseline).ok
+        slow = _small_report(k=0.100)
+        assert not compare_reports(baseline, slow).ok
 
     def test_regression_trips_threshold(self):
         baseline = _small_report(slow=0.010)

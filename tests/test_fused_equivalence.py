@@ -1,0 +1,407 @@
+"""Fused (layer-major) vs stepwise (step-major) engine equivalence.
+
+``SpikingNetwork`` executes the same temporal unroll two ways: the
+classic step-major loop and the time-folded layer-major engine (PR 3).
+These tests pin the contract from ``repro.snn.network``: identical
+logits, spike counts and BPTT gradients for every ``output_mode``,
+neuron configuration (IF/LIF, soft/hard reset, ``beta``, non-zero
+initial potential), encoder, and probe (event counting, step monitors,
+drift diagnosis) — or a documented stepwise fallback where per-step
+semantics demand one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conversion import ConversionConfig, convert_dnn_to_snn
+from repro.data import DataLoader
+from repro.models import vgg11
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear
+from repro.obs import DriftMonitor, monitored
+from repro.obs.metrics import MetricsRegistry
+from repro.snn import (
+    EventDrivenNetwork,
+    IFNeuron,
+    LIFNeuron,
+    PoissonEncoder,
+    SpikingMaxPool,
+    SpikingNetwork,
+    SpikingResidualBlock,
+    SpikingSequential,
+    StepWrapper,
+    TemporalDropout,
+    fold_time,
+    tile_time,
+    unfold_time,
+)
+from repro.tensor import Tensor, no_grad
+
+T = 3
+
+# (constructor, kwargs) triples covering the neuron design space: plain
+# IF, a leaky neuron with beta-scaled spikes and a bias-shift initial
+# potential, and the hard-reset variant (detached reset branch).
+NEURON_CONFIGS = [
+    pytest.param(lambda: IFNeuron(v_threshold=0.6), id="if-soft"),
+    pytest.param(
+        lambda: LIFNeuron(v_threshold=0.6, leak=0.85, beta=1.3,
+                          initial_potential=0.35),
+        id="lif-beta-shift",
+    ),
+    pytest.param(
+        lambda: LIFNeuron(v_threshold=0.6, leak=1.0, reset_mode="hard"),
+        id="if-hard",
+    ),
+]
+
+
+def build_net(neuron_fn, mode, timesteps=T, output_mode="mean",
+              encoder=None, dropout=None, batchnorm=False, seed=0):
+    """A tiny conv -> neuron -> pool -> linear network, seeded so two
+    builds with the same ``seed`` are exact parameter twins."""
+    rng = np.random.default_rng(seed)
+    layers = [StepWrapper(Conv2d(1, 2, 3, padding=1, rng=rng))]
+    if batchnorm:
+        layers.append(StepWrapper(BatchNorm2d(2)))
+    layers.append(neuron_fn())
+    layers.append(SpikingMaxPool(2))
+    if dropout is not None:
+        layers.append(TemporalDropout(dropout, rng=np.random.default_rng(99)))
+    layers += [
+        StepWrapper(Flatten()),
+        StepWrapper(Linear(2 * 2 * 2, 3, rng=rng)),
+    ]
+    body = SpikingSequential(*layers)
+    return SpikingNetwork(
+        body, timesteps=timesteps, encoder=encoder,
+        output_mode=output_mode, mode=mode,
+    )
+
+
+def images_batch(n=4, seed=3):
+    return np.random.default_rng(seed).random((n, 1, 4, 4))
+
+
+def assert_logits_match(fused, stepwise):
+    """Logit equality up to GEMM reduction order.
+
+    BLAS may block a GEMM over the folded ``(T*N, ...)`` batch
+    differently than T per-step GEMMs, so outputs agree to within a few
+    ulp rather than bitwise.
+    """
+    np.testing.assert_allclose(fused, stepwise, rtol=1e-12, atol=1e-14)
+
+
+def run_recorded(snn, images):
+    """Eval-mode no-grad forward with spike recording; returns
+    ``(logits, total spike count)``."""
+    snn.eval()
+    snn.reset_spike_stats()
+    snn.set_recording(True)
+    with no_grad():
+        logits = snn(images)
+    return logits.data, snn.total_spikes()
+
+
+def backward_pass(snn, images, seed=11):
+    """Forward + BPTT backward under a fixed projection loss; returns
+    ``(logits, input gradient, {param name: gradient})``."""
+    snn.eval()
+    snn.zero_grad()
+    x = Tensor(images, requires_grad=True)
+    logits = snn(x)
+    weights = Tensor(np.random.default_rng(seed).normal(size=logits.data.shape))
+    (logits * weights).sum().backward()
+    grads = {
+        name: param.grad.copy()
+        for name, param in snn.named_parameters()
+        if param.grad is not None
+    }
+    return logits.data, x.grad.copy(), grads
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("neuron_fn", NEURON_CONFIGS)
+    @pytest.mark.parametrize("output_mode", SpikingNetwork.OUTPUT_MODES)
+    def test_logits_and_spike_counts_match(self, neuron_fn, output_mode):
+        images = images_batch()
+        logits, spikes = {}, {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(neuron_fn, mode, output_mode=output_mode)
+            logits[mode], spikes[mode] = run_recorded(snn, images)
+        assert_logits_match(logits["fused"], logits["stepwise"])
+        assert spikes["fused"] == spikes["stepwise"] > 0
+
+    def test_poisson_encoder_folds_frames(self):
+        # Non-direct encoding takes the fold_time path (no prefix
+        # caching); identical encoder seeds give identical frames.
+        images = images_batch()
+        logits = {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(
+                lambda: IFNeuron(v_threshold=0.6), mode,
+                encoder=PoissonEncoder(rng=np.random.default_rng(5)),
+            )
+            logits[mode], _ = run_recorded(snn, images)
+        assert_logits_match(logits["fused"], logits["stepwise"])
+
+    def test_temporal_dropout_training(self):
+        # The fused mask is sampled at frame shape from the same RNG
+        # stream as the first step-major draw, then shared across the
+        # T time blocks — so training forwards agree exactly.
+        images = images_batch()
+        logits = {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(
+                lambda: IFNeuron(v_threshold=0.6), mode, dropout=0.4,
+            )
+            snn.train()
+            with no_grad():
+                logits[mode] = snn(images).data
+        assert_logits_match(logits["fused"], logits["stepwise"])
+
+    def test_batchnorm_eval_folds(self):
+        images = images_batch()
+        logits = {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(
+                lambda: IFNeuron(v_threshold=0.6), mode, batchnorm=True,
+            )
+            logits[mode], _ = run_recorded(snn, images)
+        assert_logits_match(logits["fused"], logits["stepwise"])
+
+    def test_batchnorm_train_falls_back_per_step(self):
+        # Train-mode BN computes batch statistics; a folded batch would
+        # pool them across time steps, so the fused engine replays BN
+        # per step.  Outputs and running-stat updates must both match.
+        images = images_batch()
+        logits, stats = {}, {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(
+                lambda: IFNeuron(v_threshold=0.6), mode, batchnorm=True,
+            )
+            snn.train()
+            with no_grad():
+                logits[mode] = snn(images).data
+            bn = snn.body[1].inner
+            stats[mode] = (bn.running_mean.copy(), bn.running_var.copy())
+        assert_logits_match(logits["fused"], logits["stepwise"])
+        # Running stats can differ by one ulp: numpy's pairwise mean
+        # blocks differently over the tiled view than over the freshly
+        # computed per-step activation.
+        np.testing.assert_allclose(
+            stats["fused"][0], stats["stepwise"][0], rtol=1e-14
+        )
+        np.testing.assert_allclose(
+            stats["fused"][1], stats["stepwise"][1], rtol=1e-14
+        )
+
+    def test_residual_block_equivalence(self):
+        images = np.random.default_rng(3).random((2, 2, 4, 4))
+        logits = {}
+        for mode in SpikingNetwork.MODES:
+            rng = np.random.default_rng(7)
+            block = SpikingResidualBlock(
+                conv1=StepWrapper(Conv2d(2, 2, 3, padding=1, rng=rng)),
+                neuron1=IFNeuron(v_threshold=0.5),
+                conv2=StepWrapper(Conv2d(2, 2, 3, padding=1, rng=rng)),
+                shortcut=StepWrapper(Conv2d(2, 2, 1, rng=rng)),
+                neuron2=IFNeuron(v_threshold=0.5),
+            )
+            body = SpikingSequential(
+                block,
+                StepWrapper(Flatten()),
+                StepWrapper(Linear(2 * 4 * 4, 3, bias=False, rng=rng)),
+            )
+            snn = SpikingNetwork(body, timesteps=T, mode=mode)
+            logits[mode], _ = run_recorded(snn, images)
+        assert_logits_match(logits["fused"], logits["stepwise"])
+
+
+class TestGradientEquivalence:
+    @pytest.mark.parametrize("neuron_fn", NEURON_CONFIGS)
+    def test_bptt_gradients_match(self, neuron_fn):
+        # The gradcheck of the tentpole: same surrogate-gradient BPTT
+        # through both engines — weights, threshold, leak, and input.
+        images = images_batch()
+        results = {
+            mode: backward_pass(build_net(neuron_fn, mode), images)
+            for mode in SpikingNetwork.MODES
+        }
+        logits_f, gx_f, grads_f = results["fused"]
+        logits_s, gx_s, grads_s = results["stepwise"]
+        assert_logits_match(logits_f, logits_s)
+        np.testing.assert_allclose(gx_f, gx_s, rtol=1e-9, atol=1e-12)
+        assert set(grads_f) == set(grads_s)
+        assert any("v_threshold" in name for name in grads_f)
+        assert any("leak" in name for name in grads_f)
+        for name in grads_s:
+            np.testing.assert_allclose(
+                grads_f[name], grads_s[name], rtol=1e-9, atol=1e-12,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+    @pytest.mark.parametrize("output_mode", SpikingNetwork.OUTPUT_MODES)
+    def test_output_mode_gradients_match(self, output_mode):
+        images = images_batch()
+        results = {
+            mode: backward_pass(
+                build_net(lambda: IFNeuron(v_threshold=0.6), mode,
+                          output_mode=output_mode),
+                images,
+            )
+            for mode in SpikingNetwork.MODES
+        }
+        _, gx_f, grads_f = results["fused"]
+        _, gx_s, grads_s = results["stepwise"]
+        np.testing.assert_allclose(gx_f, gx_s, rtol=1e-9, atol=1e-12)
+        for name in grads_s:
+            np.testing.assert_allclose(
+                grads_f[name], grads_s[name], rtol=1e-9, atol=1e-12,
+                err_msg=f"gradient mismatch for {name}",
+            )
+
+
+class TestEventDrivenEquivalence:
+    def test_accumulate_counts_match(self):
+        # EventDrivenNetwork instance-patches layer forwards to count
+        # events per step; the fused engine detects the patch and
+        # replays those modules per step, so exact accounting survives.
+        images = images_batch()
+        logits, counts = {}, {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(lambda: IFNeuron(v_threshold=0.6), mode)
+            snn.eval()
+            logits[mode], counts[mode] = EventDrivenNetwork(snn).run(images)
+        assert_logits_match(logits["fused"].data, logits["stepwise"].data)
+        assert counts["fused"] == counts["stepwise"]
+        assert counts["fused"].total > 0
+
+
+class TestModePlumbing:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            build_net(lambda: IFNeuron(), "warp")
+        snn = build_net(lambda: IFNeuron(), "fused")
+        with pytest.raises(ValueError, match="mode must be one of"):
+            with snn.using_mode("warp"):
+                pass
+
+    def test_using_mode_restores(self):
+        snn = build_net(lambda: IFNeuron(v_threshold=0.6), "fused")
+        images = images_batch()
+        with no_grad():
+            baseline = snn(images).data
+        with snn.using_mode("stepwise"):
+            assert snn.resolved_mode() == "stepwise"
+            with no_grad():
+                pinned = snn(images).data
+        assert snn.mode == "fused"
+        assert np.array_equal(baseline, pinned)
+
+    def test_monitor_forces_stepwise(self):
+        snn = build_net(lambda: IFNeuron(), "fused")
+        assert snn.resolved_mode() == "fused"
+        snn.attach_monitor(object())
+        assert snn.resolved_mode() == "stepwise"
+        snn.detach_monitor()
+        assert snn.resolved_mode() == "fused"
+
+    def test_fold_unfold_round_trip(self):
+        frames = [Tensor(np.full((2, 3), float(t))) for t in range(T)]
+        fused = fold_time(frames)
+        assert fused.data.shape == (2 * T, 3)
+        back = unfold_time(fused, T)
+        for t in range(T):
+            np.testing.assert_array_equal(back[t].data, frames[t].data)
+        with pytest.raises(ValueError, match="not divisible"):
+            unfold_time(fused, 4)
+
+    def test_tile_time_gradient_sums_blocks(self):
+        frame = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        tiled = tile_time(frame, T)
+        assert tiled.data.shape == (2 * T, 3)
+        for t in range(T):
+            np.testing.assert_array_equal(tiled.data[2 * t:2 * t + 2], frame.data)
+        tiled.sum().backward()
+        np.testing.assert_array_equal(frame.grad, np.full((2, 3), float(T)))
+
+
+@pytest.fixture(scope="module")
+def converted():
+    rng = np.random.default_rng(0)
+    model = vgg11(
+        num_classes=5, image_size=8, width_multiplier=0.125,
+        rng=np.random.default_rng(1),
+    )
+    loader = DataLoader(rng.random((16, 3, 8, 8)), rng.integers(0, 5, 16), 8)
+    conversion = convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2))
+    return conversion, model, rng.random((4, 3, 8, 8))
+
+
+class TestObsCompatibility:
+    def test_step_monitor_series_identical(self):
+        # A StepMonitor needs true step-boundary state, so a fused
+        # network documents an explicit fallback: while attached,
+        # resolved_mode() is stepwise and the recorded gauge
+        # trajectories match a stepwise-pinned twin exactly.
+        images = images_batch()
+        snapshots, steps = {}, {}
+        for mode in SpikingNetwork.MODES:
+            snn = build_net(lambda: IFNeuron(v_threshold=0.6), mode)
+            snn.eval()
+            registry = MetricsRegistry()
+            with monitored(snn, registry=registry) as monitor:
+                assert snn.resolved_mode() == "stepwise"
+                with no_grad():
+                    snn(images)
+                steps[mode] = monitor.steps_seen
+            assert snn.resolved_mode() == mode
+            snapshots[mode] = registry.snapshot()
+        assert steps["fused"] == steps["stepwise"] == T
+        assert snapshots["fused"] == snapshots["stepwise"]
+        # The series is non-trivial: per-layer spike-rate and membrane
+        # histograms plus spike counters were actually recorded.
+        assert snapshots["fused"]["histograms"]
+        assert snapshots["fused"]["counters"]
+
+    def test_drift_monitor_same_series_under_both_modes(self, converted):
+        # Conversion-drift diagnosis taps layer forwards per step; the
+        # fused engine honours those probes, so drift records agree.
+        conversion, model, images = converted
+        records = {}
+        for mode in SpikingNetwork.MODES:
+            monitor = DriftMonitor(
+                conversion, model, [(images, np.zeros(len(images)))],
+                registry=MetricsRegistry(), run_dir=None,
+            )
+            with conversion.snn.using_mode(mode):
+                monitor.snapshot(phase=mode)
+            records[mode] = [
+                {k: v for k, v in record.items() if k not in ("ts", "phase")}
+                for record in monitor.snapshots
+            ]
+        assert records["fused"] == records["stepwise"]
+        assert len(records["fused"]) > 0
+
+
+class TestConvertedNetworkEquivalence:
+    def test_converted_vgg_logits_and_grads(self, converted):
+        conversion, _model, images = converted
+        snn = conversion.snn
+        outputs = {}
+        for mode in SpikingNetwork.MODES:
+            with snn.using_mode(mode):
+                outputs[mode] = run_recorded(snn, images)
+        assert_logits_match(outputs["fused"][0], outputs["stepwise"][0])
+        assert outputs["fused"][1] == outputs["stepwise"][1] > 0
+
+        grads = {}
+        for mode in SpikingNetwork.MODES:
+            with snn.using_mode(mode):
+                grads[mode] = backward_pass(snn, images)
+        for name in grads["stepwise"][2]:
+            np.testing.assert_allclose(
+                grads["fused"][2][name], grads["stepwise"][2][name],
+                rtol=1e-9, atol=1e-12, err_msg=f"gradient mismatch for {name}",
+            )

@@ -119,3 +119,75 @@ class TestDefaultDtype:
         with default_dtype(np.float32):
             assert Tensor.zeros(2, 2).dtype == np.float32
             assert Tensor.ones(2).dtype == np.float32
+
+
+class TestFloat32FastPath:
+    """A model built under float32 must stay float32 end to end —
+    parameters, encoders, and every intermediate activation (regression:
+    float64 used to leak in via init, layer biases, and encoders)."""
+
+    def _build_snn(self, mode):
+        rng = np.random.default_rng(0)
+        model = vgg11(
+            num_classes=5, image_size=8, width_multiplier=0.125,
+            rng=np.random.default_rng(1),
+        )
+        loader = DataLoader(
+            rng.random((8, 3, 8, 8)), rng.integers(0, 5, 8), 8
+        )
+        snn = convert_dnn_to_snn(model, loader, ConversionConfig(timesteps=2)).snn
+        snn.mode = mode
+        snn.eval()
+        return model, snn
+
+    def test_dnn_params_and_activations_float32(self):
+        with default_dtype(np.float32):
+            model, _snn = self._build_snn("stepwise")
+            for name, param in model.named_parameters():
+                assert param.data.dtype == np.float32, name
+            rng = np.random.default_rng(2)
+            x = Tensor(rng.random((3, 3, 8, 8)))
+            for layer in list(model.features) + list(model.classifier):
+                x = layer(x)
+                assert x.data.dtype == np.float32, type(layer).__name__
+            for bn_layer in [m for m in model.modules()
+                             if type(m).__name__ == "BatchNorm2d"]:
+                assert bn_layer.running_mean.dtype == np.float32
+                assert bn_layer.running_var.dtype == np.float32
+
+    @pytest.mark.parametrize("mode", ["stepwise", "fused"])
+    def test_snn_params_and_activations_float32(self, mode):
+        with default_dtype(np.float32):
+            _model, snn = self._build_snn(mode)
+            for name, param in snn.named_parameters():
+                assert param.data.dtype == np.float32, name
+            rng = np.random.default_rng(2)
+            out = snn(rng.random((3, 3, 8, 8)))
+            assert out.data.dtype == np.float32
+            for neuron in snn.spiking_neurons():
+                assert neuron.membrane.data.dtype == np.float32
+
+    def test_encoders_follow_default_dtype(self):
+        from repro.snn import DirectEncoder, PoissonEncoder, TTFSEncoder
+
+        rng = np.random.default_rng(0)
+        images = rng.random((2, 1, 4, 4))
+        with default_dtype(np.float32):
+            for encoder in (
+                DirectEncoder(),
+                PoissonEncoder(rng=np.random.default_rng(1)),
+                TTFSEncoder(),
+            ):
+                for frame in encoder(images, 3):
+                    assert frame.dtype == np.float32, type(encoder).__name__
+
+    def test_float32_sgl_gradients_stay_float32(self):
+        with default_dtype(np.float32):
+            _model, snn = self._build_snn("fused")
+            snn.train()
+            rng = np.random.default_rng(3)
+            out = snn(rng.random((2, 3, 8, 8)))
+            out.sum().backward()
+            for name, param in snn.named_parameters():
+                if param.grad is not None:
+                    assert param.grad.dtype == np.float32, name
