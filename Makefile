@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke examples clean
 
 install:
 	python setup.py develop
@@ -37,9 +37,15 @@ microbench:
 
 # Tiny instrumented convert+evaluate pipeline; fails unless a non-empty
 # trace with the expected spans, spike-rate histograms and conversion
-# drift records is produced.
-smoke:
+# drift records is produced.  Also runs the fault-tolerance smoke.
+smoke: faults-smoke
 	PYTHONPATH=src python -m repro.obs.smoke
+
+# Deterministic fault-injection + NonFiniteGuard recovery check:
+# null-spec bitwise identity in both execution modes, seeded fault
+# reproducibility, fault telemetry, and guarded NaN recovery.
+faults-smoke:
+	PYTHONPATH=src python -m repro.faults.smoke
 
 examples:
 	python examples/quickstart.py

@@ -36,6 +36,11 @@ class DataLoader:
             )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if images.shape[0] == 0:
+            raise ValueError(
+                "dataset is empty (0 examples) — a DataLoader over it "
+                "would silently yield no batches"
+            )
         self.images = images
         self.labels = labels
         self.batch_size = batch_size

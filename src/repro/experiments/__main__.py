@@ -10,6 +10,7 @@ Regenerate any paper table/figure from the shell:
     python -m repro.experiments fig4 --dataset cifar100
     python -m repro.experiments ablation
     python -m repro.experiments robustness --arch vgg11
+    python -m repro.experiments faults --arch vgg11
     python -m repro.experiments report          # results/*.json -> REPORT.md
 
 Results print as the paper-style tables and are archived under
@@ -25,8 +26,10 @@ from ..obs import console
 from ..obs import shutdown as obs_shutdown
 
 from . import (
+    render_fault_sweep,
     render_fig1,
     render_noise_robustness,
+    run_fault_sweep,
     run_noise_robustness,
     render_fig2,
     render_fig3,
@@ -56,7 +59,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
-            "ablation", "robustness", "report",
+            "ablation", "robustness", "faults", "report",
         ],
     )
     parser.add_argument("--scale", default="bench", choices=["tiny", "bench", "full"])
@@ -125,6 +128,13 @@ def _run(args) -> int:
             scale_name=args.scale, seed=args.seed,
         )
         console(render_noise_robustness(result))
+        payload = result
+    elif args.experiment == "faults":
+        result = run_fault_sweep(
+            arch=args.arch, dataset=args.dataset,
+            scale_name=args.scale, seed=args.seed,
+        )
+        console(render_fault_sweep(result))
         payload = result
     else:
         rows = run_scaling_ablation(

@@ -1,0 +1,175 @@
+"""Fault-tolerance sweep: accuracy vs fault severity, model by model.
+
+For each fault kind in the :mod:`repro.faults` vocabulary this driver
+evaluates three models under increasing fault severity:
+
+- the trained source **DNN** (weight faults only — it has no spiking
+  neurons or spike traffic to perturb);
+- the **converted** SNN, straight out of Algorithm 1;
+- the **fine-tuned** SNN after surrogate-gradient learning.
+
+The interesting question for the paper's deployment story is whether
+SGL fine-tuning buys back any hardware-fault tolerance on top of the
+accuracy it recovers — the sweep renders one degradation curve per
+fault kind, with severity level 0 always the clean baseline.
+
+Everything is seeded: the same ``seed`` reproduces the same fault
+realisations (per :class:`repro.faults.FaultInjector`'s per-layer RNG
+streams), so two identical sweep invocations return identical curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..faults import FaultSpec
+from ..train import evaluate_dnn, evaluate_snn
+from .config import ExperimentConfig, get_scale
+from .pipeline import convert_only, run_pipeline
+from .reporting import format_table
+
+# Severity ladders per fault kind.  The first level is always the
+# clean baseline (null spec).  Quantisation severities are bit widths
+# (None = full precision); everything else is a rate/sigma.
+DEFAULT_LADDERS: Dict[str, Sequence] = {
+    "quantization": (None, 8, 6, 4, 3, 2),
+    "prune": (0.0, 0.05, 0.1, 0.2, 0.4),
+    "stuck_zero": (0.0, 0.05, 0.1, 0.2, 0.4),
+    "sign_flip": (0.0, 0.01, 0.02, 0.05, 0.1),
+    "dead_neurons": (0.0, 0.05, 0.1, 0.2, 0.4),
+    "threshold_jitter": (0.0, 0.05, 0.1, 0.2, 0.4),
+    "leak_drift": (0.0, 0.05, 0.1, 0.2, 0.4),
+    "spike_drop": (0.0, 0.02, 0.05, 0.1, 0.2),
+    "frame_drop": (0.0, 0.1, 0.2, 0.4),
+}
+
+# Fault kinds a plain (non-spiking) DNN can experience.
+WEIGHT_KINDS = ("quantization", "prune", "stuck_zero", "sign_flip")
+
+_SPEC_BUILDERS = {
+    "quantization": FaultSpec.quantization,
+    "prune": FaultSpec.pruning,
+    "stuck_zero": FaultSpec.stuck_zero,
+    "sign_flip": FaultSpec.sign_flip,
+    "dead_neurons": FaultSpec.dead_neurons,
+    "threshold_jitter": FaultSpec.threshold_jitter,
+    "leak_drift": FaultSpec.leak_drift,
+    "spike_drop": FaultSpec.spike_drop,
+    "frame_drop": FaultSpec.frame_drop,
+}
+
+
+def build_fault_spec(kind: str, level, seed: int = 0) -> FaultSpec:
+    """One-knob :class:`FaultSpec` for ``kind`` at severity ``level``.
+
+    ``level`` of ``None`` (quantisation) or ``0.0`` (rates) yields the
+    null spec — the sweep's clean baseline.
+    """
+    if kind not in _SPEC_BUILDERS:
+        raise KeyError(
+            f"unknown fault kind '{kind}'; available: {sorted(_SPEC_BUILDERS)}"
+        )
+    if level is None or level == 0.0:
+        return FaultSpec(seed=seed)
+    return _SPEC_BUILDERS[kind](level, seed=seed)
+
+
+def _faulted_accuracy(model, loader_factory, spec: FaultSpec, evaluate) -> float:
+    from ..faults import inject_faults
+
+    if spec.is_null:
+        return evaluate(model, loader_factory) * 100.0
+    with inject_faults(model, spec):
+        return evaluate(model, loader_factory) * 100.0
+
+
+def run_fault_sweep(
+    arch: str = "vgg11",
+    dataset: str = "cifar10",
+    scale_name: str = "bench",
+    timesteps: int = 2,
+    fault_kinds: Optional[Sequence[str]] = None,
+    ladders: Optional[Dict[str, Sequence]] = None,
+    seed: int = 0,
+) -> Dict:
+    """Accuracy-vs-fault-severity curves for DNN / converted / fine-tuned.
+
+    Returns ``{"curves": [{"fault", "levels", "dnn", "converted",
+    "finetuned"}, ...]}`` with accuracies in percent; ``dnn`` is ``None``
+    for fault kinds that only exist in the spiking domain.
+    """
+    scale = get_scale(scale_name)
+    config = ExperimentConfig(
+        arch=arch, dataset=dataset, timesteps=timesteps, scale=scale, seed=seed
+    )
+    result = run_pipeline(config)
+    context = result.context
+    # run_pipeline fine-tunes its conversion in place, so the "straight
+    # after conversion" model needs a fresh (deterministic) conversion.
+    converted = convert_only(config, context=context).snn
+
+    kinds = list(fault_kinds) if fault_kinds is not None else list(DEFAULT_LADDERS)
+    ladders = {**DEFAULT_LADDERS, **(ladders or {})}
+
+    curves = []
+    for kind in kinds:
+        levels = list(ladders[kind])
+        dnn_curve = [] if kind in WEIGHT_KINDS else None
+        converted_curve, finetuned_curve = [], []
+        for level in levels:
+            spec = build_fault_spec(kind, level, seed=seed)
+            if dnn_curve is not None:
+                dnn_curve.append(_faulted_accuracy(
+                    context.model, context.test_loader(), spec, evaluate_dnn
+                ))
+            converted_curve.append(_faulted_accuracy(
+                converted, context.test_loader(), spec, evaluate_snn
+            ))
+            finetuned_curve.append(_faulted_accuracy(
+                result.snn, context.test_loader(), spec, evaluate_snn
+            ))
+        curves.append({
+            "fault": kind,
+            "levels": levels,
+            "dnn": dnn_curve,
+            "converted": converted_curve,
+            "finetuned": finetuned_curve,
+        })
+
+    return {
+        "arch": arch,
+        "dataset": dataset,
+        "timesteps": timesteps,
+        "seed": seed,
+        "curves": curves,
+    }
+
+
+def _format_level(kind: str, level) -> str:
+    if kind == "quantization":
+        return "fp (none)" if level is None else f"{level} bits"
+    return f"{level:g}"
+
+
+def render_fault_sweep(result: Dict) -> str:
+    """Markdown-ish tables: one degradation curve per fault kind."""
+    timesteps = result["timesteps"]
+    blocks = []
+    for curve in result["curves"]:
+        kind = curve["fault"]
+        rows = []
+        for i, level in enumerate(curve["levels"]):
+            dnn = f"{curve['dnn'][i]:.1f}" if curve["dnn"] is not None else "-"
+            rows.append([
+                _format_level(kind, level),
+                dnn,
+                f"{curve['converted'][i]:.1f}",
+                f"{curve['finetuned'][i]:.1f}",
+            ])
+        blocks.append(format_table(
+            ["severity", "DNN %", f"converted (T={timesteps}) %",
+             f"fine-tuned (T={timesteps}) %"],
+            rows,
+            title=f"Fault sweep: {kind} ({result['arch']}, {result['dataset']})",
+        ))
+    return "\n\n".join(blocks)

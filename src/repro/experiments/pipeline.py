@@ -12,19 +12,69 @@ reuse them (Figs. 3-4) do not retrain.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..conversion import ConversionConfig, ConversionResult, convert_dnn_to_snn
-from ..obs import DriftMonitor, is_enabled
+from ..obs import DriftMonitor, get_logger, is_enabled
 from ..obs import metrics as obs_metrics
 from ..obs import monitored, trace
 from ..snn import SpikingNetwork
-from ..train import SNNTrainConfig, SNNTrainer, TrainingHistory, evaluate_snn
+from ..train import (
+    NonFiniteGuard,
+    SNNTrainConfig,
+    SNNTrainer,
+    TrainingHistory,
+    evaluate_snn,
+)
+from ..utils import CheckpointError, load_checkpoint, save_checkpoint
 from .config import ExperimentConfig
 from .context import ExperimentContext, get_context
 
 _SNN_CACHE: Dict[tuple, "PipelineResult"] = {}
+
+_STATE_FILENAME = "pipeline_state.json"
+_SNN_CKPT_FILENAME = "snn_latest.npz"
+
+_log = get_logger("pipeline")
+
+
+def _pipeline_fingerprint(
+    config: ExperimentConfig, strategy: str, fine_tune: bool, snn_lr: float
+) -> dict:
+    """Identity of one pipeline run — resume refuses to cross it."""
+    return {
+        "context_key": list(config.context_key()),
+        "timesteps": config.timesteps,
+        "strategy": strategy,
+        "fine_tune": fine_tune,
+        "snn_lr": snn_lr,
+    }
+
+
+def _write_pipeline_state(checkpoint_dir: str, state: dict) -> None:
+    """Atomically persist the pipeline progress record."""
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    path = os.path.join(checkpoint_dir, _STATE_FILENAME)
+    tmp_path = f"{path}.tmp-{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2, sort_keys=True)
+    os.replace(tmp_path, path)
+
+
+def _read_pipeline_state(checkpoint_dir: str) -> Optional[dict]:
+    path = os.path.join(checkpoint_dir, _STATE_FILENAME)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt pipeline state at '{path}': {exc}"
+        ) from exc
 
 
 @dataclass
@@ -77,6 +127,10 @@ def run_pipeline(
     snn_lr: float = 5e-4,
     verbose: bool = False,
     record_drift: Optional[bool] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+    guard: Optional[NonFiniteGuard] = None,
 ) -> PipelineResult:
     """Run (or fetch from cache) the full hybrid-training pipeline.
 
@@ -84,10 +138,43 @@ def run_pipeline(
     (:class:`repro.obs.DriftMonitor` snapshots after conversion and
     again after fine-tuning); the default records exactly when an
     observed run is active.
+
+    Resilience knobs:
+
+    - ``checkpoint_dir`` enables periodic auto-checkpointing: every
+      ``checkpoint_every`` fine-tuning epochs the SNN is saved
+      (atomically) to ``snn_latest.npz`` alongside a
+      ``pipeline_state.json`` progress record;
+    - ``resume=True`` (requires ``checkpoint_dir``) picks a killed run
+      back up: the DNN context and conversion are rebuilt
+      deterministically, the latest SNN checkpoint is loaded, and
+      fine-tuning restarts at the first incomplete epoch.  Resuming
+      against a state file written by a *different* pipeline
+      configuration raises :class:`~repro.utils.CheckpointError`;
+    - ``guard`` forwards a :class:`~repro.train.NonFiniteGuard` to the
+      fine-tuning loop (NaN/Inf detection with rollback + LR backoff).
     """
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1")
     key = (config.context_key(), config.timesteps, strategy, fine_tune, snn_lr)
     if key in _SNN_CACHE:
         return _SNN_CACHE[key]
+
+    fingerprint = _pipeline_fingerprint(config, strategy, fine_tune, snn_lr)
+    resumed_state: Optional[dict] = None
+    if resume:
+        state = _read_pipeline_state(checkpoint_dir)
+        if state is not None:
+            if state.get("fingerprint") != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint_dir '{checkpoint_dir}' holds state for a "
+                    f"different pipeline run "
+                    f"(saved {state.get('fingerprint')}, "
+                    f"requested {fingerprint}); use a fresh directory"
+                )
+            resumed_state = state
 
     with trace.span(
         "run_pipeline",
@@ -99,13 +186,22 @@ def run_pipeline(
         context = get_context(config, verbose=verbose)
         conversion = convert_only(config, strategy=strategy, context=context)
         test_loader = context.test_loader()
-        # Post-conversion evaluation doubles as the spiking-activity
-        # measurement pass: per-layer spike-rate and membrane-potential
-        # histograms land in the metrics registry (Fig. 4 quantities).
-        with trace.span("snn_eval", phase="post_conversion") as eval_span:
-            with monitored(conversion.snn, prefix="snn"):
-                conversion_accuracy = evaluate_snn(conversion.snn, test_loader)
-            eval_span.set(accuracy=conversion_accuracy)
+        if resumed_state is not None:
+            # The conversion above is deterministic, so its accuracy was
+            # already measured before the interrupted run died — reuse
+            # it instead of re-evaluating.
+            conversion_accuracy = float(resumed_state["conversion_accuracy"])
+        else:
+            # Post-conversion evaluation doubles as the spiking-activity
+            # measurement pass: per-layer spike-rate and
+            # membrane-potential histograms land in the metrics registry
+            # (Fig. 4 quantities).
+            with trace.span("snn_eval", phase="post_conversion") as eval_span:
+                with monitored(conversion.snn, prefix="snn"):
+                    conversion_accuracy = evaluate_snn(
+                        conversion.snn, test_loader
+                    )
+                eval_span.set(accuracy=conversion_accuracy)
 
         # Conversion-drift telemetry: per-layer predicted-vs-measured
         # gap snapshots bracketing the SGL fine-tuning stage.
@@ -118,16 +214,71 @@ def run_pipeline(
 
         history = None
         if fine_tune:
-            trainer = SNNTrainer(
-                SNNTrainConfig(epochs=config.scale.snn_epochs, lr=snn_lr)
-            )
-            with trace.span("sgl_finetune", epochs=config.scale.snn_epochs):
-                history = trainer.fit(
-                    conversion.snn,
-                    context.train_loader(seed=config.seed + 2),
-                    test_loader,
-                    verbose=verbose,
+            snn_epochs = config.scale.snn_epochs
+            start_epoch = 1
+            if resumed_state is not None:
+                ckpt_path = os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME)
+                load_checkpoint(conversion.snn, ckpt_path)
+                start_epoch = int(resumed_state["completed_epochs"]) + 1
+                if start_epoch > config.scale.snn_epochs:
+                    _log.info(
+                        f"fine-tuning already complete in '{checkpoint_dir}'; "
+                        "loaded final weights",
+                        checkpoint=ckpt_path,
+                    )
+                else:
+                    _log.info(
+                        f"resuming fine-tuning from epoch {start_epoch} "
+                        f"(checkpoint '{ckpt_path}')",
+                        start_epoch=start_epoch,
+                        checkpoint=ckpt_path,
+                    )
+
+            on_epoch_end = None
+            if checkpoint_dir is not None:
+                def on_epoch_end(epoch, _history):
+                    if epoch % checkpoint_every != 0 and epoch != snn_epochs:
+                        return
+                    save_checkpoint(
+                        conversion.snn,
+                        os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
+                    )
+                    _write_pipeline_state(checkpoint_dir, {
+                        "fingerprint": fingerprint,
+                        "completed_epochs": epoch,
+                        "total_epochs": snn_epochs,
+                        "conversion_accuracy": conversion_accuracy,
+                    })
+                    obs_metrics.inc("pipeline.checkpoints_written")
+                # A fresh guarded/checkpointed run records its starting
+                # point so a kill before epoch 1 completes still resumes
+                # cleanly (from the converted weights).
+                if resumed_state is None:
+                    save_checkpoint(
+                        conversion.snn,
+                        os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
+                    )
+                    _write_pipeline_state(checkpoint_dir, {
+                        "fingerprint": fingerprint,
+                        "completed_epochs": 0,
+                        "total_epochs": snn_epochs,
+                        "conversion_accuracy": conversion_accuracy,
+                    })
+
+            if start_epoch <= snn_epochs:
+                trainer = SNNTrainer(
+                    SNNTrainConfig(epochs=snn_epochs, lr=snn_lr)
                 )
+                with trace.span("sgl_finetune", epochs=snn_epochs):
+                    history = trainer.fit(
+                        conversion.snn,
+                        context.train_loader(seed=config.seed + 2),
+                        test_loader,
+                        verbose=verbose,
+                        guard=guard,
+                        on_epoch_end=on_epoch_end,
+                        start_epoch=start_epoch,
+                    )
         with trace.span("snn_eval", phase="final") as eval_span:
             snn_accuracy = evaluate_snn(conversion.snn, test_loader)
             eval_span.set(accuracy=snn_accuracy)

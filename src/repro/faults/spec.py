@@ -1,0 +1,221 @@
+"""Declarative fault model for neuromorphic-deployment hardening.
+
+The paper's end goal is T<=3 SNNs on neuromorphic/edge substrates,
+where the three things the conversion analysis treats as exact are
+exactly the things real hardware perturbs:
+
+- **weights** are stored at low precision in crossbars and individual
+  synapses fail (stuck-at bits, dropped connections);
+- **neurons** suffer device mismatch — the per-layer threshold
+  ``V^th = alpha * mu`` that Algorithm 1 tunes is realised with analog
+  variation, membranes leak at the wrong rate, and some units are dead;
+- **transmission** of spike packets between cores is lossy — individual
+  spikes are dropped, and a congested router can lose a whole frame
+  (one time step of a layer's output).
+
+A :class:`FaultSpec` describes one such fault environment declaratively
+and seedably: the same spec + seed always realises the same faults (see
+``repro.faults.injector``).  Component specs compose — any subset may be
+active at once — and a spec with every rate at zero injects nothing at
+all, so fault-instrumented passes are bitwise-identical to clean ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+
+def _check_nonneg(name: str, value: float) -> None:
+    if value < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class WeightFaults:
+    """Faults in stored synaptic weights (Conv2d / Linear layers).
+
+    - ``quant_bits`` — symmetric per-layer uniform quantisation to this
+      many bits (the :mod:`repro.hw.quantization` backend); ``None``
+      leaves weights at full precision.
+    - ``stuck_zero_rate`` — fraction of weights stuck at zero (a dead
+      memory cell reads as 0).
+    - ``sign_flip_rate`` — fraction of weights whose sign bit flipped.
+    - ``prune_rate`` — fraction of synapses dropped entirely (set to
+      zero); modelled separately from ``stuck_zero_rate`` so sweeps can
+      distinguish manufacturing pruning from in-field cell failure.
+    """
+
+    quant_bits: Optional[int] = None
+    stuck_zero_rate: float = 0.0
+    sign_flip_rate: float = 0.0
+    prune_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.quant_bits is not None and self.quant_bits < 2:
+            raise ValueError(
+                f"quant_bits needs at least 2 bits (sign + one magnitude), "
+                f"got {self.quant_bits}"
+            )
+        _check_rate("stuck_zero_rate", self.stuck_zero_rate)
+        _check_rate("sign_flip_rate", self.sign_flip_rate)
+        _check_rate("prune_rate", self.prune_rate)
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.quant_bits is None
+            and self.stuck_zero_rate == 0.0
+            and self.sign_flip_rate == 0.0
+            and self.prune_rate == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class NeuronFaults:
+    """Faults in the spiking neurons themselves.
+
+    - ``dead_rate`` — fraction of units that never transmit a spike
+      (their output is silenced; membrane bookkeeping is unaffected, as
+      for a broken axon hillock).
+    - ``threshold_jitter`` — per-layer multiplicative mismatch on the
+      firing threshold: ``V^th <- V^th * (1 + sigma * eps)`` with
+      ``eps ~ N(0, 1)``, clamped positive.  This is the quantity Bu et
+      al.'s optimal-conversion analysis shows ultra-low-T accuracy is
+      hypersensitive to.
+    - ``leak_drift`` — additive drift on the membrane leak ``lambda``:
+      ``lambda <- clip(lambda + sigma * eps, 0, 1)``.
+    """
+
+    dead_rate: float = 0.0
+    threshold_jitter: float = 0.0
+    leak_drift: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("dead_rate", self.dead_rate)
+        _check_nonneg("threshold_jitter", self.threshold_jitter)
+        _check_nonneg("leak_drift", self.leak_drift)
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.dead_rate == 0.0
+            and self.threshold_jitter == 0.0
+            and self.leak_drift == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class TransmissionFaults:
+    """Faults in spike delivery between layers.
+
+    - ``spike_drop_rate`` — each emitted spike is independently lost
+      with this Bernoulli probability, redrawn every time step.
+    - ``frame_drop_rate`` — with this probability per (layer, step) the
+      layer's whole output frame for that step is lost, simulating a
+      dropped packet / lost time step.
+
+    Transmission faults are inherently per-step, so injecting them
+    forces the affected neurons onto the stepwise execution path via
+    the engine's graceful-degradation mechanism (instance-patched
+    forwards always replay step by step); the rest of the network stays
+    fused.
+    """
+
+    spike_drop_rate: float = 0.0
+    frame_drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate("spike_drop_rate", self.spike_drop_rate)
+        _check_rate("frame_drop_rate", self.frame_drop_rate)
+
+    @property
+    def is_null(self) -> bool:
+        return self.spike_drop_rate == 0.0 and self.frame_drop_rate == 0.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete, seedable fault environment.
+
+    Compose the three component specs freely; :class:`FaultSpec()` (all
+    defaults) is the null spec and injects nothing.  ``seed`` pins every
+    random realisation — masks, jitters, per-step drops — so the same
+    spec reproduces the same faulted behaviour run after run, in either
+    execution mode.
+    """
+
+    weight: WeightFaults = field(default_factory=WeightFaults)
+    neuron: NeuronFaults = field(default_factory=NeuronFaults)
+    transmission: TransmissionFaults = field(default_factory=TransmissionFaults)
+    seed: int = 0
+
+    @property
+    def is_null(self) -> bool:
+        return (
+            self.weight.is_null
+            and self.neuron.is_null
+            and self.transmission.is_null
+        )
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Serialisation (sweep manifests, telemetry records)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        return cls(
+            weight=WeightFaults(**payload.get("weight", {})),
+            neuron=NeuronFaults(**payload.get("neuron", {})),
+            transmission=TransmissionFaults(**payload.get("transmission", {})),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Single-knob constructors (the sweep driver's vocabulary)
+    # ------------------------------------------------------------------
+    @classmethod
+    def quantization(cls, bits: int, seed: int = 0) -> "FaultSpec":
+        return cls(weight=WeightFaults(quant_bits=bits), seed=seed)
+
+    @classmethod
+    def pruning(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(weight=WeightFaults(prune_rate=rate), seed=seed)
+
+    @classmethod
+    def stuck_zero(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(weight=WeightFaults(stuck_zero_rate=rate), seed=seed)
+
+    @classmethod
+    def sign_flip(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(weight=WeightFaults(sign_flip_rate=rate), seed=seed)
+
+    @classmethod
+    def dead_neurons(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(neuron=NeuronFaults(dead_rate=rate), seed=seed)
+
+    @classmethod
+    def threshold_jitter(cls, sigma: float, seed: int = 0) -> "FaultSpec":
+        return cls(neuron=NeuronFaults(threshold_jitter=sigma), seed=seed)
+
+    @classmethod
+    def leak_drift(cls, sigma: float, seed: int = 0) -> "FaultSpec":
+        return cls(neuron=NeuronFaults(leak_drift=sigma), seed=seed)
+
+    @classmethod
+    def spike_drop(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(transmission=TransmissionFaults(spike_drop_rate=rate), seed=seed)
+
+    @classmethod
+    def frame_drop(cls, rate: float, seed: int = 0) -> "FaultSpec":
+        return cls(transmission=TransmissionFaults(frame_drop_rate=rate), seed=seed)

@@ -31,6 +31,20 @@ from ..tensor import GradMode, Tensor
 from .surrogate import SurrogateFn, get_surrogate
 
 
+def _silence_units(spikes: Tensor, alive: np.ndarray) -> Tensor:
+    """Zero the spikes of dead units (mask broadcast over the batch).
+
+    The gradient is masked identically, so silenced units carry no
+    credit — the autograd view of a unit that never transmits.
+    """
+    mask = alive.astype(spikes.data.dtype)
+
+    def bwd(g):
+        return (g * mask,)
+
+    return Tensor.from_op(spikes.data * mask, (spikes,), bwd, "dead_units")
+
+
 def spike_function(
     u_temp: Tensor,
     v_threshold: Tensor,
@@ -278,6 +292,13 @@ class SpikingNeuron(Module):
         self.surrogate_name = surrogate
         self.surrogate = get_surrogate(surrogate)
         self.membrane: Optional[Tensor] = None
+        # Fault-injection hook (see repro.faults): an optional sampler
+        # mapping the unit shape to a boolean alive-mask, realised
+        # lazily at the first forward and honoured by both execution
+        # modes.  Dead units integrate and reset normally but never
+        # transmit a spike (a broken axon, not a missing cell).
+        self._unit_fault_fn = None
+        self._unit_fault_mask: Optional[np.ndarray] = None
         # Spike statistics (populated when ``recording`` is on).
         self.recording = False
         self.spike_count = 0.0
@@ -294,7 +315,32 @@ class SpikingNeuron(Module):
         return float(self.leak.data[0])
 
     def reset_state(self) -> None:
+        # Temporal state only: an installed fault mask is a property of
+        # the injection session, not of one input, and survives resets.
         self.membrane = None
+
+    def set_unit_fault(self, sampler) -> None:
+        """Install (or clear, with ``None``) a dead-unit mask sampler.
+
+        ``sampler(unit_shape)`` must return a boolean array of that
+        shape — ``True`` for units that still transmit.  It is invoked
+        once, at the first forward pass that knows the unit shape, and
+        the realised mask is cached for the rest of the session, so
+        fused and stepwise execution silence the same units.
+        """
+        self._unit_fault_fn = sampler
+        self._unit_fault_mask = None
+
+    def _unit_alive_mask(self, unit_shape) -> Optional[np.ndarray]:
+        if self._unit_fault_fn is None:
+            return None
+        mask = self._unit_fault_mask
+        expected = (1,) + tuple(unit_shape)
+        if mask is None or mask.shape != expected:
+            mask = np.asarray(self._unit_fault_fn(tuple(unit_shape)))
+            mask = mask.reshape(expected)
+            self._unit_fault_mask = mask
+        return mask
 
     def reset_spike_stats(self) -> None:
         self.spike_count = 0.0
@@ -324,6 +370,9 @@ class SpikingNeuron(Module):
             self.spike_count += float(fired_mask.sum())
             self.neuron_count = int(np.prod(current.data.shape[1:]))
             self.step_count += 1
+        alive = self._unit_alive_mask(current.data.shape[1:])
+        if alive is not None:
+            spikes = _silence_units(spikes, alive)
         return spikes
 
     def forward_fused(self, current: Tensor, timesteps: int) -> Tensor:
@@ -357,6 +406,12 @@ class SpikingNeuron(Module):
             self.spike_count += fired_total
             self.neuron_count = int(np.prod(current.data.shape[1:]))
             self.step_count += timesteps
+        # The dead-unit mask is time-independent, so one broadcast over
+        # the folded (T*N, ...) batch silences the same units the
+        # stepwise loop silences at every step.
+        alive = self._unit_alive_mask(current.data.shape[1:])
+        if alive is not None:
+            spikes = _silence_units(spikes, alive)
         return spikes
 
     def extra_repr(self) -> str:

@@ -1,6 +1,7 @@
 """Training loops: DNN training and SNN surrogate-gradient fine-tuning."""
 
 from .attacks import fgsm_accuracy, fgsm_attack
+from .guard import NonFiniteError, NonFiniteGuard
 from .history import TrainingHistory
 from .regularizers import SpikeRateRegularizer
 from .metrics import accuracy, evaluate_dnn, evaluate_snn, top_k_accuracy
@@ -10,6 +11,8 @@ from .trainer import DNNTrainConfig, DNNTrainer, clamp_thresholds
 __all__ = [
     "DNNTrainConfig",
     "DNNTrainer",
+    "NonFiniteError",
+    "NonFiniteGuard",
     "SNNTrainConfig",
     "SNNTrainer",
     "SpikeRateRegularizer",

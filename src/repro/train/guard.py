@@ -1,0 +1,161 @@
+"""Non-finite training guard: detect, attribute, roll back, retry.
+
+Surrogate-gradient fine-tuning at ultra-low T runs close to the edge —
+thresholds are clamped, spike amplitudes rescale activations, and one
+bad batch (or an injected fault) can blow the loss up to NaN/Inf.  An
+unguarded loop then silently corrupts every later epoch: the optimizer
+steps on NaN gradients and the run is unrecoverable.
+
+:class:`NonFiniteGuard` wraps the failure handling policy:
+
+- **detect** — after each backward pass the trainer asks the guard to
+  scan the loss and the gradients;
+- **attribute** — the first parameter (in registration order, i.e.
+  network depth order) holding a non-finite gradient names the layer
+  that blew up first;
+- **recover** — the model is rolled back to the last good snapshot
+  (end of the previous epoch, or the pre-training state), the learning
+  rate is backed off multiplicatively, and the epoch is retried;
+- **give up** — after ``max_retries`` recoveries the guard raises
+  :class:`NonFiniteError` with the attribution and the actions already
+  taken, instead of looping forever.
+
+The guard is opt-in (``fit(..., guard=NonFiniteGuard())``); an
+unguarded loop pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Module
+from ..obs import get_logger
+from ..obs import metrics as obs_metrics
+
+_log = get_logger("guard")
+
+
+class NonFiniteError(RuntimeError):
+    """Training diverged beyond the guard's retry budget.
+
+    Carries the last attribution (``site``) so callers can log or
+    surface where the run first went non-finite.
+    """
+
+    def __init__(self, message: str, site: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class NonFiniteDetected(Exception):
+    """Internal control-flow signal: a batch produced NaN/Inf.
+
+    Raised by the trainers' batch loops and caught by their epoch
+    loops, which then invoke :meth:`NonFiniteGuard.recover`.  Not part
+    of the public API surface.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(site)
+        self.site = site
+
+
+class NonFiniteGuard:
+    """Detects non-finite loss/gradients and manages recovery.
+
+    Parameters
+    ----------
+    max_retries:
+        Recoveries allowed across the whole fit before giving up.
+    lr_backoff:
+        Multiplicative learning-rate factor applied at each recovery
+        (also applied to the scheduler's base LR so later milestone
+        decays start from the backed-off value).
+    """
+
+    def __init__(self, max_retries: int = 3, lr_backoff: float = 0.5) -> None:
+        if max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if not 0.0 < lr_backoff < 1.0:
+            raise ValueError("lr_backoff must lie in (0, 1)")
+        self.max_retries = max_retries
+        self.lr_backoff = lr_backoff
+        self.retries_used = 0
+        self.last_site: Optional[str] = None
+        self._snapshot: Optional[Dict[str, np.ndarray]] = None
+        self._snapshot_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Detection & attribution
+    # ------------------------------------------------------------------
+    def scan(self, model: Module, loss) -> Optional[str]:
+        """Return a description of the first non-finite site, else None.
+
+        Checks the scalar loss first (cheap), then walks the parameters
+        in registration order looking for non-finite gradients — the
+        earliest offender names the layer where training blew up.
+        """
+        loss_value = float(loss.item()) if hasattr(loss, "item") else float(loss)
+        loss_bad = not np.isfinite(loss_value)
+        offender = self.first_nonfinite_layer(model)
+        if offender is not None:
+            kind = "loss and gradient" if loss_bad else "gradient"
+            return f"non-finite {kind} at parameter '{offender}'"
+        if loss_bad:
+            return f"non-finite loss ({loss_value})"
+        return None
+
+    @staticmethod
+    def first_nonfinite_layer(model: Module) -> Optional[str]:
+        """Name of the first parameter with a non-finite gradient."""
+        for name, param in model.named_parameters():
+            grad = param.grad
+            if grad is not None and not np.isfinite(grad).all():
+                return name
+        return None
+
+    # ------------------------------------------------------------------
+    # Snapshots & recovery
+    # ------------------------------------------------------------------
+    def note_good_epoch(self, model: Module, epoch: int) -> None:
+        """Record a known-good state to roll back to."""
+        self._snapshot = model.state_dict()  # state_dict copies
+        self._snapshot_epoch = epoch
+
+    def recover(self, model: Module, optimizer, scheduler=None,
+                site: str = "unknown", epoch: Optional[int] = None) -> None:
+        """Roll back to the last good snapshot and back the LR off.
+
+        Raises :class:`NonFiniteError` once the retry budget is spent.
+        """
+        self.last_site = site
+        self.retries_used += 1
+        obs_metrics.inc("guard.recoveries")
+        if self.retries_used > self.max_retries:
+            raise NonFiniteError(
+                f"training diverged: {site} (epoch {epoch}); "
+                f"gave up after {self.max_retries} rollback+LR-backoff "
+                f"retries (LR now {optimizer.lr:.3g}). Lower the learning "
+                "rate, loosen gradient-sensitive hyperparameters, or "
+                "inspect the offending layer's inputs.",
+                site=site,
+            )
+        if self._snapshot is not None:
+            model.load_state_dict(self._snapshot)
+        optimizer.lr *= self.lr_backoff
+        if scheduler is not None:
+            scheduler.base_lr *= self.lr_backoff
+        optimizer.zero_grad()
+        obs_metrics.gauge("guard.lr_after_backoff", optimizer.lr)
+        _log.warning(
+            f"non-finite training state ({site}); rolled back to "
+            f"epoch {self._snapshot_epoch} snapshot, LR backed off to "
+            f"{optimizer.lr:.3g} "
+            f"(retry {self.retries_used}/{self.max_retries})",
+            site=site,
+            epoch=epoch,
+            retry=self.retries_used,
+            lr=optimizer.lr,
+        )

@@ -25,6 +25,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..optim import SGD, Adam, MultiStepLR, paper_milestones
 from ..snn import SpikingNetwork, SpikingNeuron
+from .guard import NonFiniteDetected, NonFiniteGuard
 from .history import TrainingHistory
 from .metrics import evaluate_snn
 from .trainer import MIN_THRESHOLD
@@ -120,16 +121,32 @@ class SNNTrainer:
         train_batches_factory,
         test_batches_factory=None,
         verbose: bool = False,
+        guard: Optional[NonFiniteGuard] = None,
+        on_epoch_end=None,
+        start_epoch: int = 1,
     ) -> TrainingHistory:
-        """Fine-tune ``snn`` in the spiking domain."""
+        """Fine-tune ``snn`` in the spiking domain.
+
+        ``guard`` enables NaN/Inf detection with rollback + LR-backoff
+        recovery; ``on_epoch_end(epoch, history)`` fires after every
+        completed epoch (the pipeline's auto-checkpoint hook);
+        ``start_epoch`` resumes mid-schedule (the LR schedule is
+        fast-forwarded to match).
+        """
         from .regularizers import SpikeRateRegularizer
 
         cfg = self.config
+        if not 1 <= start_epoch <= cfg.epochs:
+            raise ValueError(
+                f"start_epoch must lie in [1, {cfg.epochs}], got {start_epoch}"
+            )
         self._configure_trainability(snn)
         optimizer = self._build_optimizer(snn)
         scheduler = MultiStepLR(
             optimizer, milestones=paper_milestones(cfg.epochs), gamma=cfg.gamma
         )
+        for _ in range(1, start_epoch):
+            scheduler.step()
         history = TrainingHistory()
         regularizer = None
         if cfg.spike_penalty > 0:
@@ -142,12 +159,48 @@ class SNNTrainer:
             self._run_epochs(
                 snn, train_batches_factory, test_batches_factory,
                 optimizer, scheduler, history, regularizer, noise_rng, verbose,
+                guard, on_epoch_end, start_epoch,
             )
         finally:
             snn.mode = previous_mode
             if regularizer is not None:
                 regularizer.detach()
         return history
+
+    def _train_epoch(
+        self, snn, optimizer, train_batches_factory, regularizer, noise_rng,
+        guard,
+    ):
+        """One pass over the training set; raises
+        :class:`NonFiniteDetected` when the guard spots NaN/Inf."""
+        cfg = self.config
+        losses, correct, seen = [], 0, 0
+        for images, labels in train_batches_factory:
+            optimizer.zero_grad()
+            images = np.asarray(images)
+            if cfg.input_noise_std > 0:
+                images = images + noise_rng.normal(
+                    0.0, cfg.input_noise_std, size=images.shape
+                )
+            if regularizer is not None:
+                regularizer.reset()
+            logits = snn(images)
+            loss = self.criterion(logits, labels)
+            if regularizer is not None:
+                penalty = regularizer.penalty()
+                if penalty is not None:
+                    loss = loss + penalty
+            loss.backward()
+            if guard is not None:
+                site = guard.scan(snn, loss)
+                if site is not None:
+                    raise NonFiniteDetected(site)
+            optimizer.step()
+            clamp_neuron_parameters(snn)
+            losses.append(loss.item())
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+            seen += len(labels)
+        return losses, correct, seen
 
     def _run_epochs(
         self,
@@ -160,36 +213,33 @@ class SNNTrainer:
         regularizer,
         noise_rng,
         verbose,
+        guard=None,
+        on_epoch_end=None,
+        start_epoch: int = 1,
     ) -> None:
         cfg = self.config
-        for epoch in range(1, cfg.epochs + 1):
+        if guard is not None:
+            guard.note_good_epoch(snn, start_epoch - 1)
+        for epoch in range(start_epoch, cfg.epochs + 1):
             with trace.span(
                 "snn_epoch", epoch=epoch, timesteps=snn.timesteps
             ) as span:
                 started = time.perf_counter()
-                snn.train()
-                losses, correct, seen = [], 0, 0
-                for images, labels in train_batches_factory:
-                    optimizer.zero_grad()
-                    images = np.asarray(images)
-                    if cfg.input_noise_std > 0:
-                        images = images + noise_rng.normal(
-                            0.0, cfg.input_noise_std, size=images.shape
+                while True:
+                    snn.train()
+                    try:
+                        losses, correct, seen = self._train_epoch(
+                            snn, optimizer, train_batches_factory,
+                            regularizer, noise_rng, guard,
                         )
-                    if regularizer is not None:
-                        regularizer.reset()
-                    logits = snn(images)
-                    loss = self.criterion(logits, labels)
-                    if regularizer is not None:
-                        penalty = regularizer.penalty()
-                        if penalty is not None:
-                            loss = loss + penalty
-                    loss.backward()
-                    optimizer.step()
-                    clamp_neuron_parameters(snn)
-                    losses.append(loss.item())
-                    correct += int((logits.data.argmax(axis=1) == labels).sum())
-                    seen += len(labels)
+                        break
+                    except NonFiniteDetected as detected:
+                        guard.recover(
+                            snn, optimizer, scheduler,
+                            site=detected.site, epoch=epoch,
+                        )
+                if guard is not None:
+                    guard.note_good_epoch(snn, epoch)
                 elapsed = time.perf_counter() - started
 
                 test_acc = (
@@ -229,3 +279,5 @@ class SNNTrainer:
                     test_accuracy=test_acc,
                     seconds=elapsed,
                 )
+                if on_epoch_end is not None:
+                    on_epoch_end(epoch, history)

@@ -21,6 +21,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..optim import SGD, MultiStepLR, paper_milestones
 from ..tensor import Tensor
+from .guard import NonFiniteDetected, NonFiniteGuard
 from .history import TrainingHistory
 from .metrics import evaluate_dnn
 
@@ -63,20 +64,58 @@ class DNNTrainer:
         self.config = config
         self.criterion = CrossEntropyLoss(label_smoothing=config.label_smoothing)
 
+    def _train_epoch(
+        self,
+        model: Module,
+        optimizer,
+        train_batches_factory,
+        guard: Optional[NonFiniteGuard],
+    ):
+        """One pass over the training set; raises
+        :class:`NonFiniteDetected` when the guard spots NaN/Inf."""
+        losses, correct, seen = [], 0, 0
+        for images, labels in train_batches_factory:
+            optimizer.zero_grad()
+            logits = model(Tensor(np.asarray(images)))
+            loss = self.criterion(logits, labels)
+            loss.backward()
+            if guard is not None:
+                site = guard.scan(model, loss)
+                if site is not None:
+                    raise NonFiniteDetected(site)
+            optimizer.step()
+            clamp_thresholds(model)
+            losses.append(loss.item())
+            correct += int((logits.data.argmax(axis=1) == labels).sum())
+            seen += len(labels)
+        return losses, correct, seen
+
     def fit(
         self,
         model: Module,
         train_batches_factory,
         test_batches_factory=None,
         verbose: bool = False,
+        guard: Optional[NonFiniteGuard] = None,
+        on_epoch_end=None,
+        start_epoch: int = 1,
     ) -> TrainingHistory:
         """Train ``model``.
 
         ``train_batches_factory`` / ``test_batches_factory`` are
         re-iterables (e.g. :class:`repro.data.DataLoader`) yielding
         ``(images, labels)`` batches each epoch.
+
+        ``guard`` enables NaN/Inf detection with rollback + LR-backoff
+        recovery; ``on_epoch_end(epoch, history)`` fires after every
+        completed epoch (checkpointing hook); ``start_epoch`` resumes a
+        run mid-schedule (the LR schedule is fast-forwarded to match).
         """
         cfg = self.config
+        if not 1 <= start_epoch <= cfg.epochs:
+            raise ValueError(
+                f"start_epoch must lie in [1, {cfg.epochs}], got {start_epoch}"
+            )
         optimizer = SGD(
             model.parameters(),
             lr=cfg.lr,
@@ -86,23 +125,29 @@ class DNNTrainer:
         scheduler = MultiStepLR(
             optimizer, milestones=paper_milestones(cfg.epochs), gamma=cfg.gamma
         )
+        for _ in range(1, start_epoch):
+            scheduler.step()
         history = TrainingHistory()
+        if guard is not None:
+            guard.note_good_epoch(model, start_epoch - 1)
 
-        for epoch in range(1, cfg.epochs + 1):
+        for epoch in range(start_epoch, cfg.epochs + 1):
             with trace.span("dnn_epoch", epoch=epoch) as span:
                 started = time.perf_counter()
-                model.train()
-                losses, correct, seen = [], 0, 0
-                for images, labels in train_batches_factory:
-                    optimizer.zero_grad()
-                    logits = model(Tensor(np.asarray(images)))
-                    loss = self.criterion(logits, labels)
-                    loss.backward()
-                    optimizer.step()
-                    clamp_thresholds(model)
-                    losses.append(loss.item())
-                    correct += int((logits.data.argmax(axis=1) == labels).sum())
-                    seen += len(labels)
+                while True:
+                    model.train()
+                    try:
+                        losses, correct, seen = self._train_epoch(
+                            model, optimizer, train_batches_factory, guard
+                        )
+                        break
+                    except NonFiniteDetected as detected:
+                        guard.recover(
+                            model, optimizer, scheduler,
+                            site=detected.site, epoch=epoch,
+                        )
+                if guard is not None:
+                    guard.note_good_epoch(model, epoch)
                 elapsed = time.perf_counter() - started
 
                 test_acc = (
@@ -141,4 +186,6 @@ class DNNTrainer:
                     test_accuracy=test_acc,
                     seconds=elapsed,
                 )
+                if on_epoch_end is not None:
+                    on_epoch_end(epoch, history)
         return history

@@ -1,5 +1,5 @@
 """Utility helpers: checkpointing, seeding."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
-__all__ = ["load_checkpoint", "save_checkpoint"]
+__all__ = ["CheckpointError", "load_checkpoint", "save_checkpoint"]

@@ -5,11 +5,23 @@ Works for any :class:`~repro.nn.Module`, including converted
 ordinary parameters).  Conversion metadata (per-layer ``beta`` values,
 which live outside the parameter set) is stored alongside under
 reserved ``__meta__``-prefixed keys.
+
+Robustness contract:
+
+- :func:`save_checkpoint` writes **atomically** — the archive is
+  serialised to a temporary file in the target directory and moved into
+  place with :func:`os.replace`, so a crash mid-write can never leave a
+  truncated ``.npz`` under the checkpoint's name.
+- :func:`load_checkpoint` turns every way an archive can be unreadable
+  (missing file, truncated/corrupt zip, absent SNN metadata) into a
+  :class:`CheckpointError` naming the offending path, instead of a raw
+  numpy/zipfile traceback.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import Dict
 
 import numpy as np
@@ -20,10 +32,16 @@ from ..snn import SpikingNetwork, SpikingNeuron
 _META_PREFIX = "__meta__"
 
 
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read back."""
+
+
 def save_checkpoint(model: Module, path: str) -> str:
     """Serialise ``model``'s parameters (and SNN betas) to ``path``.
 
-    Returns the path written (``.npz`` appended if missing).
+    Returns the path written (``.npz`` appended if missing).  The write
+    is atomic: either the previous archive (if any) or the complete new
+    one exists at ``path``, never a partial file.
     """
     payload: Dict[str, np.ndarray] = dict(model.state_dict())
     for key in payload:
@@ -38,7 +56,15 @@ def save_checkpoint(model: Module, path: str) -> str:
         os.makedirs(directory, exist_ok=True)
     if not path.endswith(".npz"):
         path += ".npz"
-    np.savez(path, **payload)
+    # Temp file in the same directory so os.replace stays one atomic
+    # rename (no cross-filesystem copy window).
+    tmp_path = f"{path}.tmp-{os.getpid()}.npz"
+    try:
+        np.savez(tmp_path, **payload)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
     return path
 
 
@@ -47,21 +73,37 @@ def load_checkpoint(model: Module, path: str, strict: bool = True) -> None:
 
     For spiking networks the per-neuron ``beta`` values and the time-step
     count are restored too (``timesteps`` must match unless
-    ``strict=False``).
+    ``strict=False``).  Unreadable archives raise
+    :class:`CheckpointError` naming ``path``.
     """
-    with np.load(path) as archive:
-        state = {
-            key: archive[key]
-            for key in archive.files
-            if not key.startswith(_META_PREFIX)
-        }
-        meta = {
-            key[len(_META_PREFIX):]: archive[key]
-            for key in archive.files
-            if key.startswith(_META_PREFIX)
-        }
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint at '{path}'")
+    try:
+        with np.load(path) as archive:
+            state = {
+                key: archive[key]
+                for key in archive.files
+                if not key.startswith(_META_PREFIX)
+            }
+            meta = {
+                key[len(_META_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_META_PREFIX)
+            }
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt or truncated checkpoint at '{path}': {exc}"
+        ) from exc
     model.load_state_dict(state, strict=strict)
-    if isinstance(model, SpikingNetwork) and "betas" in meta:
+    if isinstance(model, SpikingNetwork):
+        if "betas" not in meta:
+            if strict:
+                raise CheckpointError(
+                    f"checkpoint at '{path}' has no '{_META_PREFIX}betas' "
+                    "metadata — it was not saved from a SpikingNetwork "
+                    "(pass strict=False to load the raw parameters anyway)"
+                )
+            return
         neurons = model.spiking_neurons()
         betas = meta["betas"]
         if len(neurons) != len(betas):
