@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke runs-gc examples clean
 
 install:
 	python setup.py develop
@@ -36,10 +36,18 @@ microbench:
 	pytest benchmarks/test_microbench.py --benchmark-only -s
 
 # Tiny instrumented convert+evaluate pipeline; fails unless a non-empty
-# trace with the expected spans, spike-rate histograms and conversion
-# drift records is produced.  Also runs the fault-tolerance smoke.
+# trace with the expected spans, spike-rate histograms, conversion
+# drift records and energy gauges is produced, the run registers in the
+# run registry, an identical-seed self-diff is regression-free, and
+# `dashboard --once` renders deterministically.  Also runs the
+# fault-tolerance smoke.
 smoke: faults-smoke
 	PYTHONPATH=src python -m repro.obs.smoke
+
+# Compact the observed-run registry: drop entries whose run directories
+# are gone and keep only the 20 newest runs (the baseline always stays).
+runs-gc:
+	PYTHONPATH=src python -m repro.obs runs gc --keep 20
 
 # Deterministic fault-injection + NonFiniteGuard recovery check:
 # null-spec bitwise identity in both execution modes, seeded fault

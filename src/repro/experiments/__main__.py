@@ -72,15 +72,35 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", metavar="RUN_DIR", default=None,
                         help="enable observability; write events/trace/"
                              "metrics JSONL into RUN_DIR")
+    parser.add_argument("--tag-baseline", action="store_true",
+                        help="tag this observed run as the run registry's "
+                             "diff baseline (requires --trace)")
     args = parser.parse_args(argv)
 
+    if args.tag_baseline and not args.trace:
+        parser.error("--tag-baseline requires --trace RUN_DIR")
+
     if args.trace:
-        obs_configure(run_dir=args.trace, experiment=args.experiment)
+        obs_configure(
+            run_dir=args.trace,
+            experiment=args.experiment,
+            arch=args.arch,
+            dataset=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    status = "error"
     try:
-        return _run(args)
+        code = _run(args)
+        status = "completed"
+        return code
     finally:
         if args.trace:
-            obs_shutdown()
+            if args.tag_baseline:
+                from . import pipeline as _pipeline
+
+                _pipeline._tag_run_as_baseline()
+            obs_shutdown(status=status)
             console(f"trace written to {args.trace}")
 
 

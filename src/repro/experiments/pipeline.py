@@ -18,9 +18,9 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..conversion import ConversionConfig, ConversionResult, convert_dnn_to_snn
-from ..obs import DriftMonitor, get_logger, is_enabled
+from ..obs import DriftMonitor, get_logger, is_enabled, record_energy_profile
 from ..obs import metrics as obs_metrics
-from ..obs import monitored, trace
+from ..obs import monitored, state as obs_state, trace
 from ..snn import SpikingNetwork
 from ..train import (
     NonFiniteGuard,
@@ -131,6 +131,7 @@ def run_pipeline(
     resume: bool = False,
     checkpoint_every: int = 1,
     guard: Optional[NonFiniteGuard] = None,
+    tag_baseline: bool = False,
 ) -> PipelineResult:
     """Run (or fetch from cache) the full hybrid-training pipeline.
 
@@ -153,6 +154,12 @@ def run_pipeline(
       configuration raises :class:`~repro.utils.CheckpointError`;
     - ``guard`` forwards a :class:`~repro.train.NonFiniteGuard` to the
       fine-tuning loop (NaN/Inf detection with rollback + LR backoff).
+
+    Under an observed run the final SNN additionally gets a Section-VI
+    energy profile (``energy.*`` gauges via
+    :func:`repro.obs.record_energy_profile`), and ``tag_baseline=True``
+    marks the observed run as the run registry's comparison baseline
+    for ``python -m repro.obs diff --baseline``.
     """
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
@@ -282,6 +289,16 @@ def run_pipeline(
         with trace.span("snn_eval", phase="final") as eval_span:
             snn_accuracy = evaluate_snn(conversion.snn, test_loader)
             eval_span.set(accuracy=snn_accuracy)
+        if is_enabled():
+            # Section-VI efficiency accounting of the final network —
+            # energy.* gauges land in this run's metrics snapshot so the
+            # diff engine can compare compute/energy across runs.
+            record_energy_profile(
+                conversion.snn,
+                test_loader,
+                context.input_shape,
+                max_batches=config.scale.calibration_batches,
+            )
         if drift is not None:
             if fine_tune:
                 drift.snapshot("post_finetune")
@@ -294,6 +311,8 @@ def run_pipeline(
         obs_metrics.gauge("pipeline.dnn_accuracy", context.dnn_accuracy)
         obs_metrics.gauge("pipeline.conversion_accuracy", conversion_accuracy)
         obs_metrics.gauge("pipeline.snn_accuracy", snn_accuracy)
+        if tag_baseline:
+            _tag_run_as_baseline()
 
     result = PipelineResult(
         config=config,
@@ -307,6 +326,26 @@ def run_pipeline(
     )
     _SNN_CACHE[key] = result
     return result
+
+
+def _tag_run_as_baseline() -> None:
+    """Mark the active observed run as the registry's diff baseline."""
+    from ..obs.registry import RunRegistry
+
+    run_id = obs_state().run_id
+    if run_id is None:
+        _log.warning(
+            "tag_baseline=True but no observed run is active; "
+            "run under `with observe(run_dir): ...` (or --trace) to tag"
+        )
+        return
+    try:
+        RunRegistry().set_baseline(run_id)
+        _log.info(f"tagged run {run_id} as the registry baseline")
+    except (KeyError, OSError) as exc:
+        # Registration is best-effort (disabled registry, in-memory
+        # run); a failed tag must not fail the pipeline.
+        _log.warning(f"could not tag baseline run: {exc}")
 
 
 def clear_pipeline_cache() -> None:

@@ -24,7 +24,7 @@ Quick start::
 then ``python -m repro.obs.report results/run_1`` renders the run.
 """
 
-from . import metrics, trace
+from . import health, metrics, trace
 from .core import (
     configure,
     flush_metrics,
@@ -34,16 +34,19 @@ from .core import (
     state,
 )
 from .drift import DriftMonitor
+from .health import HealthConfig, HealthMonitor
 from .instruments import (
     StepMonitor,
     measure_inference_memory,
     measure_training_memory,
     monitored,
+    record_energy_profile,
     record_spike_profile,
     timed,
 )
 from .logging import Logger, console, get_logger, set_console_level
 from .metrics import MetricsRegistry, get_registry, reset_registry
+from .registry import RunRegistry
 
 
 def load_run(run_dir):
@@ -61,16 +64,45 @@ def render_report(data):
     return _render_report(data)
 
 
+def run_to_json(data):
+    """Lazy alias for :func:`repro.obs.report.run_to_json`."""
+    from .report import run_to_json as _run_to_json
+
+    return _run_to_json(data)
+
+
+def diff_runs(baseline, candidate, **kwargs):
+    """Lazy alias for :func:`repro.obs.diff.diff_runs` (the diff module
+    imports :mod:`repro.obs.report`, kept out of the eager imports for
+    the same reason as :func:`load_run`)."""
+    from .diff import diff_runs as _diff_runs
+
+    return _diff_runs(baseline, candidate, **kwargs)
+
+
+def diff_run_dirs(baseline_dir, candidate_dir, **kwargs):
+    """Lazy alias for :func:`repro.obs.diff.diff_run_dirs`."""
+    from .diff import diff_run_dirs as _diff_run_dirs
+
+    return _diff_run_dirs(baseline_dir, candidate_dir, **kwargs)
+
+
 __all__ = [
     "DriftMonitor",
+    "HealthConfig",
+    "HealthMonitor",
     "Logger",
     "MetricsRegistry",
+    "RunRegistry",
     "StepMonitor",
     "configure",
     "console",
+    "diff_run_dirs",
+    "diff_runs",
     "flush_metrics",
     "get_logger",
     "get_registry",
+    "health",
     "is_enabled",
     "load_run",
     "measure_inference_memory",
@@ -78,9 +110,11 @@ __all__ = [
     "metrics",
     "monitored",
     "observe",
+    "record_energy_profile",
     "record_spike_profile",
     "render_report",
     "reset_registry",
+    "run_to_json",
     "set_console_level",
     "shutdown",
     "state",

@@ -85,6 +85,12 @@ def configure(
     if not enabled:
         return _STATE
     _RUN_COUNTER += 1
+    # A run's metrics.json must describe *that* run: successive observed
+    # runs in one process must not accumulate into each other's
+    # snapshots (the diff engine compares them).
+    from .metrics import reset_registry
+
+    reset_registry()
     _STATE.run_id = f"run-{os.getpid()}-{_RUN_COUNTER}"
     _STATE.context = dict(context)
     _STATE.run_dir = run_dir
@@ -102,14 +108,36 @@ def configure(
     emit_event(
         {"kind": "run_start", "ts": time.time(), "run_id": _STATE.run_id}
     )
+    if run_dir is not None:
+        # Runs with artefacts are worth finding later: index them and
+        # watch their training health by default.  Lazy imports — both
+        # modules import this one.
+        from . import health, registry
+
+        registry.register_run_start(_STATE.run_id, run_dir, _STATE.context)
+        health.install(health.HealthMonitor(run_dir=run_dir))
     return _STATE
 
 
-def shutdown() -> None:
-    """End the observed run: dump metrics, close sinks, disable."""
-    if _STATE.enabled:
+def shutdown(status: str = "completed") -> None:
+    """End the observed run: dump metrics, close sinks, disable.
+
+    ``status`` lands in the run registry's terminal record
+    (``"completed"`` / ``"error"``).
+    """
+    run_id, run_dir = _STATE.run_id, _STATE.run_dir
+    was_enabled = _STATE.enabled
+    if was_enabled:
+        from . import health
+
+        health.uninstall()
         emit_event(
-            {"kind": "run_end", "ts": time.time(), "run_id": _STATE.run_id}
+            {
+                "kind": "run_end",
+                "ts": time.time(),
+                "run_id": run_id,
+                "status": status,
+            }
         )
         flush_metrics()
     for name in ("_events_fp", "_trace_fp"):
@@ -123,6 +151,11 @@ def shutdown() -> None:
     _STATE.run_dir = None
     _STATE.run_id = None
     _STATE.context = {}
+    if was_enabled and run_dir is not None:
+        # After the sinks close, so the artefact inventory sees final sizes.
+        from . import registry
+
+        registry.register_run_end(run_id, run_dir, status)
 
 
 def flush_metrics() -> Optional[str]:
@@ -151,8 +184,8 @@ class observe:
     def __enter__(self) -> ObsState:
         return configure(run_dir=self._run_dir, **self._context)
 
-    def __exit__(self, *exc_info) -> None:
-        shutdown()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        shutdown(status="error" if exc_type is not None else "completed")
 
 
 def _write_line(fp: Optional[IO[str]], record: dict) -> None:

@@ -2,15 +2,22 @@
 
     python -m repro.obs.report results/run_2/            # to stdout
     python -m repro.obs.report results/run_2/ --out REPORT.md
+    python -m repro.obs.report results/run_2/ --json     # machine-readable
 
 Reads the run's ``trace.jsonl`` (spans), ``metrics.json`` (registry
-snapshot), ``events.jsonl`` (log records) and ``drift.jsonl``
-(per-layer conversion-drift series from
-:class:`repro.obs.drift.DriftMonitor`) — any subset may be missing, in
+snapshot), ``events.jsonl`` (log records), ``drift.jsonl`` (per-layer
+conversion-drift series from :class:`repro.obs.drift.DriftMonitor`),
+``faults.jsonl`` (fault-injection events) and ``alerts.jsonl``
+(training-health alerts/heartbeats) — any subset may be missing, in
 which case the report degrades to the available artefacts with an
 explicit warning line per missing file — and renders the span tree
-with durations, counter / gauge / histogram tables and the per-layer
-conversion-drift table.
+with durations (errored spans called out with their exception),
+counter / gauge / histogram tables, the per-layer conversion-drift
+table and the health-alert section.
+
+``--json`` emits the loaded run as one JSON object
+(:func:`run_to_json`) so the diff engine (:mod:`repro.obs.diff`) and
+external tooling share this module's parser.
 """
 
 from __future__ import annotations
@@ -31,31 +38,52 @@ class RunData:
     events: List[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     drift: List[dict] = field(default_factory=list)
+    faults: List[dict] = field(default_factory=list)
+    alerts: List[dict] = field(default_factory=list)
+    health: List[dict] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
 
 
-def _read_jsonl(path: str) -> List[dict]:
-    records = []
+def _read_jsonl(path: str):
+    """All parseable records plus the count of malformed lines (a
+    truncated tail from a killed run must not discard the good lines)."""
+    records, skipped = [], 0
     with open(path, "r", encoding="utf-8") as fp:
         for line in fp:
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
-    return records
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
 
 
 def _load_jsonl(data: RunData, filename: str, what: str) -> List[dict]:
-    """Read one JSONL artefact; a missing or corrupt file degrades to an
-    empty list plus a warning line in the rendered report."""
+    """Read one JSONL artefact; a missing or unreadable file degrades to
+    an empty list — and torn lines to a skip count — plus a warning line
+    in the rendered report."""
     path = os.path.join(data.run_dir, filename)
     if not os.path.exists(path):
         data.warnings.append(f"`{filename}` missing — no {what} recorded")
         return []
     try:
-        return _read_jsonl(path)
-    except (json.JSONDecodeError, OSError) as exc:
+        records, skipped = _read_jsonl(path)
+    except OSError as exc:
         data.warnings.append(f"`{filename}` unreadable ({exc}) — {what} skipped")
         return []
+    if skipped:
+        data.warnings.append(
+            f"`{filename}`: skipped {skipped} malformed line(s) "
+            "(truncated tail?)"
+        )
+    return records
 
 
 def load_run(run_dir: str) -> RunData:
@@ -79,6 +107,17 @@ def load_run(run_dir: str) -> RunData:
     # is normal and should not alarm.
     if data.warnings and data.warnings[-1].startswith("`drift.jsonl` missing"):
         data.warnings.pop()
+    data.faults = [
+        r for r in _load_jsonl(data, "faults.jsonl", "fault events")
+        if r.get("kind") == "fault"
+    ]
+    if data.warnings and data.warnings[-1].startswith("`faults.jsonl` missing"):
+        data.warnings.pop()
+    health_records = _load_jsonl(data, "alerts.jsonl", "health telemetry")
+    data.alerts = [r for r in health_records if r.get("kind") == "alert"]
+    data.health = [r for r in health_records if r.get("kind") == "health"]
+    if data.warnings and data.warnings[-1].startswith("`alerts.jsonl` missing"):
+        data.warnings.pop()
     metrics_path = os.path.join(run_dir, "metrics.json")
     if os.path.exists(metrics_path):
         try:
@@ -91,6 +130,27 @@ def load_run(run_dir: str) -> RunData:
     else:
         data.warnings.append("`metrics.json` missing — no metrics recorded")
     return data
+
+
+def run_to_json(data: RunData) -> dict:
+    """The loaded run as one JSON-ready object.
+
+    This is the machine-readable twin of :func:`render_report` — the
+    diff engine and external tooling consume it so there is exactly one
+    parser for run directories (:func:`load_run`).
+    """
+    return {
+        "schema": "repro.obs.run/v1",
+        "run_dir": data.run_dir,
+        "warnings": list(data.warnings),
+        "spans": list(data.spans),
+        "events": list(data.events),
+        "metrics": dict(data.metrics),
+        "drift": list(data.drift),
+        "faults": list(data.faults),
+        "alerts": list(data.alerts),
+        "health": list(data.health),
+    }
 
 
 def _span_tree_rows(spans: List[dict]) -> List[dict]:
@@ -106,7 +166,11 @@ def _span_tree_rows(spans: List[dict]) -> List[dict]:
     def visit(parent_id: Optional[int]) -> None:
         for span in by_parent.get(parent_id, []):
             ordered.append(span)
-            visit(span.get("span_id"))
+            span_id = span.get("span_id")
+            # A degraded record without a span_id would alias the root
+            # sentinel and recurse forever — treat it as a leaf.
+            if span_id is not None:
+                visit(span_id)
 
     visit(None)
     # Orphans (parent span never closed, e.g. crashed run) go last.
@@ -216,6 +280,19 @@ def render_report(data: RunData) -> str:
         lines.append("_no spans recorded_")
     lines.append("")
 
+    errored = [s for s in data.spans if s.get("status") == "error"]
+    if errored:
+        lines.append(f"### Errored spans ({len(errored)})")
+        lines.append("")
+        for span in errored:
+            error = span.get("error") or {}
+            lines.append(
+                f"- `{span.get('name', '?')}`: "
+                f"**{error.get('type', 'unknown error')}** "
+                f"{error.get('message', '')}".rstrip()
+            )
+        lines.append("")
+
     counters = data.metrics.get("counters", {})
     gauges = data.metrics.get("gauges", {})
     histograms = data.metrics.get("histograms", {})
@@ -265,6 +342,37 @@ def render_report(data: RunData) -> str:
     if data.drift:
         _render_drift(data, lines)
 
+    if data.alerts:
+        lines.append(f"## Health alerts ({len(data.alerts)})")
+        lines.append("")
+        by_rule: Dict[str, int] = {}
+        for alert in data.alerts:
+            rule = alert.get("rule", "?")
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+        lines.append(
+            ", ".join(f"{rule}: {count}" for rule, count in sorted(by_rule.items()))
+        )
+        lines.append("")
+        for alert in data.alerts[-10:]:
+            severity = alert.get("severity", "warning")
+            lines.append(
+                f"- [{severity}] `{alert.get('rule', '?')}` — "
+                f"{alert.get('message', '')}"
+            )
+        lines.append("")
+
+    if data.faults:
+        lines.append(f"## Fault events ({len(data.faults)})")
+        lines.append("")
+        by_fault: Dict[str, int] = {}
+        for fault in data.faults:
+            name = fault.get("fault", "?")
+            by_fault[name] = by_fault.get(name, 0) + 1
+        lines.append(
+            ", ".join(f"{name}: {count}" for name, count in sorted(by_fault.items()))
+        )
+        lines.append("")
+
     log_events = [e for e in data.events if e.get("kind") == "log"]
     lines.append(f"## Events ({len(data.events)} total, {len(log_events)} log)")
     lines.append("")
@@ -294,13 +402,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument("run_dir", help="directory written by repro.obs.configure")
     parser.add_argument("--out", default=None, help="write to this file (default: stdout)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the loaded run as machine-readable JSON "
+                             "instead of markdown")
     args = parser.parse_args(argv)
 
     try:
         data = load_run(args.run_dir)
     except FileNotFoundError as exc:
         parser.error(str(exc))
-    report = render_report(data)
+    if args.json:
+        report = json.dumps(run_to_json(data), indent=2, sort_keys=True) + "\n"
+    else:
+        report = render_report(data)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fp:
             fp.write(report)

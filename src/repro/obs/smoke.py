@@ -4,15 +4,43 @@ Trains a micro DNN, converts it, evaluates the SNN — all under an
 observed run — then asserts that the run directory contains a non-empty
 span timeline covering calibration → Algorithm 1 → conversion → SNN
 evaluation, and prints the rendered report.
+
+The analytics layer is exercised on top of the same pipeline:
+
+- **registry round-trip** — the observed run must appear in the run
+  registry with a terminal ``completed`` status and a non-empty
+  artefact inventory;
+- **deterministic self-diff** — the identical pipeline is run a second
+  time (same seed, fresh caches) and ``repro.obs.diff`` of the two run
+  directories must report *zero* regressions: the substrate is
+  deterministic, so only wall-clock series (never gated) may differ;
+- **dashboard snapshot** — ``dashboard --once`` must render the same
+  frame twice for a finished run directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import os
 from dataclasses import replace
 
 REQUIRED_SPANS = {"run_pipeline", "calibration", "algorithm1", "conversion", "snn_eval"}
+
+_ARTEFACTS = (
+    "trace.jsonl", "events.jsonl", "metrics.json",
+    "drift.jsonl", "faults.jsonl", "alerts.jsonl",
+)
+
+
+def _clean_run_dir(run_dir: str) -> None:
+    # Run directories append across runs; a smoke check wants a fresh
+    # timeline so the assertions below see exactly one pipeline.
+    for artefact in _ARTEFACTS:
+        path = os.path.join(run_dir, artefact)
+        if os.path.exists(path):
+            os.remove(path)
 
 
 def main(argv=None) -> int:
@@ -28,7 +56,10 @@ def main(argv=None) -> int:
     from ..experiments.config import SCALES, ExperimentConfig
     from ..experiments.context import clear_context_cache
     from ..experiments.pipeline import clear_pipeline_cache, run_pipeline
-    from . import load_run, observe, render_report
+    from . import load_run, observe, render_report, state
+    from .dashboard import main as dashboard_main
+    from .diff import diff_run_dirs
+    from .registry import RunRegistry, registration_enabled
 
     scale = replace(
         SCALES["tiny"],
@@ -45,24 +76,24 @@ def main(argv=None) -> int:
     config = ExperimentConfig(
         arch="vgg11", dataset="cifar10", timesteps=2, scale=scale
     )
-    clear_context_cache()
-    clear_pipeline_cache()
 
-    # Run directories append across runs; a smoke check wants a fresh
-    # timeline so the assertions below see exactly one pipeline.
-    for artefact in ("trace.jsonl", "events.jsonl", "metrics.json", "drift.jsonl"):
-        path = os.path.join(args.run_dir, artefact)
-        if os.path.exists(path):
-            os.remove(path)
+    run_dir_a = args.run_dir
+    run_dir_b = f"{args.run_dir}_b"
+    run_ids = []
+    for run_dir in (run_dir_a, run_dir_b):
+        clear_context_cache()
+        clear_pipeline_cache()
+        _clean_run_dir(run_dir)
+        with observe(run_dir, smoke=True, arch=config.arch,
+                     timesteps=config.timesteps, seed=config.seed):
+            run_ids.append(state().run_id)
+            result = run_pipeline(config, fine_tune=False)
 
-    with observe(args.run_dir, smoke=True):
-        result = run_pipeline(config, fine_tune=False)
-
-    trace_path = os.path.join(args.run_dir, "trace.jsonl")
+    trace_path = os.path.join(run_dir_a, "trace.jsonl")
     if not os.path.exists(trace_path) or os.path.getsize(trace_path) == 0:
         print(f"SMOKE FAILED: empty or missing trace file {trace_path}")
         return 1
-    run = load_run(args.run_dir)
+    run = load_run(run_dir_a)
     names = {span.get("name") for span in run.spans}
     missing = REQUIRED_SPANS - names
     if missing:
@@ -79,6 +110,55 @@ def main(argv=None) -> int:
     if not run.drift:
         print("SMOKE FAILED: no conversion-drift records in drift.jsonl")
         return 1
+    energy_gauges = [
+        name
+        for name in run.metrics.get("gauges", {})
+        if name.startswith("energy.")
+    ]
+    if not energy_gauges:
+        print("SMOKE FAILED: no energy.* gauges recorded")
+        return 1
+
+    # Registry round-trip: both observed runs are findable and terminal.
+    if registration_enabled():
+        registry = RunRegistry()
+        for run_id in run_ids:
+            entry = registry.get(run_id)
+            if entry is None:
+                print(f"SMOKE FAILED: run {run_id} missing from the registry "
+                      f"({registry.index_path})")
+                return 1
+            if entry.get("status") != "completed":
+                print(f"SMOKE FAILED: run {run_id} status is "
+                      f"{entry.get('status')!r}, expected 'completed'")
+                return 1
+            if not entry.get("artifacts"):
+                print(f"SMOKE FAILED: run {run_id} registered with an empty "
+                      "artefact inventory")
+                return 1
+
+    # Deterministic self-diff: same seed twice => zero regressions.
+    diff = diff_run_dirs(run_dir_a, run_dir_b)
+    if not diff.ok:
+        print(diff.render())
+        print(f"SMOKE FAILED: identical-seed self-diff found "
+              f"{len(diff.regressions)} regression(s)")
+        return 1
+
+    # Dashboard snapshot mode must be a pure function of the run dir.
+    frames = []
+    for _ in range(2):
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = dashboard_main([run_dir_a, "--once"])
+        if code != 0:
+            print(f"SMOKE FAILED: dashboard --once exited {code}")
+            return 1
+        frames.append(buffer.getvalue())
+    if frames[0] != frames[1]:
+        print("SMOKE FAILED: dashboard --once rendered differing frames "
+              "for the same run directory")
+        return 1
 
     if args.report:
         print(render_report(run))
@@ -86,6 +166,8 @@ def main(argv=None) -> int:
         f"smoke ok: {len(run.spans)} spans, "
         f"{len(spike_histograms)} spike-rate histograms, "
         f"{len(run.drift)} drift records, "
+        f"{len(energy_gauges)} energy gauges, "
+        f"self-diff clean over {len(diff.deltas)} aligned series, "
         f"dnn={result.dnn_accuracy:.3f} "
         f"conversion={result.conversion_accuracy:.3f} "
         f"(trace: {trace_path})"

@@ -92,6 +92,11 @@ class Span:
             "duration_s": self.duration_s,
             "status": "error" if exc_type is not None else "ok",
         }
+        if exc_type is not None:
+            record["error"] = {
+                "type": exc_type.__name__,
+                "message": str(exc),
+            }
         if self.fields:
             record["fields"] = dict(self.fields)
         emit_span(record)

@@ -21,8 +21,10 @@ import numpy as np
 
 from ..nn import CrossEntropyLoss
 from ..obs import get_logger
+from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs.instruments import record_spike_profile
 from ..optim import SGD, Adam, MultiStepLR, paper_milestones
 from ..snn import SpikingNetwork, SpikingNeuron
 from .guard import NonFiniteDetected, NonFiniteGuard
@@ -175,6 +177,8 @@ class SNNTrainer:
         :class:`NonFiniteDetected` when the guard spots NaN/Inf."""
         cfg = self.config
         losses, correct, seen = [], 0, 0
+        health_monitor = obs_health.active()
+        max_grad_sq = 0.0
         for images, labels in train_batches_factory:
             optimizer.zero_grad()
             images = np.asarray(images)
@@ -191,6 +195,11 @@ class SNNTrainer:
                 if penalty is not None:
                     loss = loss + penalty
             loss.backward()
+            if health_monitor is not None:
+                # Worst gradient norm of the epoch, sampled before the
+                # guard can roll anything back — the explosion alert is
+                # the early warning for the NaN the guard later catches.
+                max_grad_sq = max(max_grad_sq, obs_health.gradient_sq_norm(snn))
             if guard is not None:
                 site = guard.scan(snn, loss)
                 if site is not None:
@@ -200,7 +209,8 @@ class SNNTrainer:
             losses.append(loss.item())
             correct += int((logits.data.argmax(axis=1) == labels).sum())
             seen += len(labels)
-        return losses, correct, seen
+        grad_norm = float(np.sqrt(max_grad_sq)) if health_monitor else None
+        return losses, correct, seen, grad_norm
 
     def _run_epochs(
         self,
@@ -228,7 +238,7 @@ class SNNTrainer:
                 while True:
                     snn.train()
                     try:
-                        losses, correct, seen = self._train_epoch(
+                        losses, correct, seen, grad_norm = self._train_epoch(
                             snn, optimizer, train_batches_factory,
                             regularizer, noise_rng, guard,
                         )
@@ -242,11 +252,31 @@ class SNNTrainer:
                     guard.note_good_epoch(snn, epoch)
                 elapsed = time.perf_counter() - started
 
-                test_acc = (
-                    evaluate_snn(snn, test_batches_factory)
-                    if test_batches_factory is not None
-                    else float("nan")
-                )
+                layer_rates = None
+                health_monitor = obs_health.active()
+                if test_batches_factory is not None and health_monitor is not None:
+                    # Piggyback spike-rate measurement on the epoch's
+                    # test pass: record spike counters for its duration
+                    # and fold them into per-layer rates for the
+                    # collapse rule.  Recording works in both temporal
+                    # engines and is restored afterwards.
+                    previous_recording = [
+                        n.recording for n in snn.spiking_neurons()
+                    ]
+                    snn.reset_spike_stats()
+                    snn.set_recording(True)
+                    try:
+                        test_acc = evaluate_snn(snn, test_batches_factory)
+                        layer_rates = record_spike_profile(snn)
+                    finally:
+                        for neuron, was_recording in zip(
+                            snn.spiking_neurons(), previous_recording
+                        ):
+                            neuron.recording = was_recording
+                elif test_batches_factory is not None:
+                    test_acc = evaluate_snn(snn, test_batches_factory)
+                else:
+                    test_acc = float("nan")
                 history.record(
                     epoch=epoch,
                     train_loss=float(np.mean(losses)) if losses else float("nan"),
@@ -265,6 +295,16 @@ class SNNTrainer:
                 obs_metrics.gauge("snn.test_accuracy", test_acc)
                 obs_metrics.observe("snn.epoch_seconds", elapsed)
                 obs_metrics.inc("snn.examples_seen", seen)
+                obs_health.observe_epoch(
+                    "snn",
+                    epoch,
+                    loss=history.train_loss[-1],
+                    accuracy=test_acc,
+                    grad_norm=grad_norm,
+                    model=snn,
+                    timesteps=snn.timesteps,
+                    layer_rates=layer_rates,
+                )
                 scheduler.step()
                 _log.log(
                     "info" if verbose else "debug",

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..nn import CrossEntropyLoss, Module, ThresholdReLU
 from ..obs import get_logger
+from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..optim import SGD, MultiStepLR, paper_milestones
@@ -74,11 +75,18 @@ class DNNTrainer:
         """One pass over the training set; raises
         :class:`NonFiniteDetected` when the guard spots NaN/Inf."""
         losses, correct, seen = [], 0, 0
+        health_monitor = obs_health.active()
+        max_grad_sq = 0.0
         for images, labels in train_batches_factory:
             optimizer.zero_grad()
             logits = model(Tensor(np.asarray(images)))
             loss = self.criterion(logits, labels)
             loss.backward()
+            if health_monitor is not None:
+                # Track the epoch's worst gradient norm *before* the
+                # guard clears/rolls back anything — explosion alerts
+                # should fire ahead of the NaN they precede.
+                max_grad_sq = max(max_grad_sq, obs_health.gradient_sq_norm(model))
             if guard is not None:
                 site = guard.scan(model, loss)
                 if site is not None:
@@ -88,7 +96,8 @@ class DNNTrainer:
             losses.append(loss.item())
             correct += int((logits.data.argmax(axis=1) == labels).sum())
             seen += len(labels)
-        return losses, correct, seen
+        grad_norm = float(np.sqrt(max_grad_sq)) if health_monitor else None
+        return losses, correct, seen, grad_norm
 
     def fit(
         self,
@@ -137,7 +146,7 @@ class DNNTrainer:
                 while True:
                     model.train()
                     try:
-                        losses, correct, seen = self._train_epoch(
+                        losses, correct, seen, grad_norm = self._train_epoch(
                             model, optimizer, train_batches_factory, guard
                         )
                         break
@@ -173,6 +182,13 @@ class DNNTrainer:
                 obs_metrics.gauge("dnn.test_accuracy", test_acc)
                 obs_metrics.observe("dnn.epoch_seconds", elapsed)
                 obs_metrics.inc("dnn.examples_seen", seen)
+                obs_health.observe_epoch(
+                    "dnn",
+                    epoch,
+                    loss=history.train_loss[-1],
+                    accuracy=test_acc,
+                    grad_norm=grad_norm,
+                )
                 scheduler.step()
                 _log.log(
                     "info" if verbose else "debug",

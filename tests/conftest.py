@@ -7,10 +7,26 @@ tests so the suite trains it exactly once.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig, get_context, get_scale
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_runs_root(tmp_path_factory):
+    """Point the run registry at a scratch directory for the whole
+    session, so observed runs inside tests never touch ``runs/``."""
+    root = tmp_path_factory.mktemp("runs_root")
+    previous = os.environ.get("REPRO_RUNS_ROOT")
+    os.environ["REPRO_RUNS_ROOT"] = str(root)
+    yield str(root)
+    if previous is None:
+        os.environ.pop("REPRO_RUNS_ROOT", None)
+    else:
+        os.environ["REPRO_RUNS_ROOT"] = previous
 
 
 @pytest.fixture

@@ -349,7 +349,11 @@ class TestReport:
         (tmp_path / "metrics.json").write_text("{broken")
         run = load_run(str(tmp_path))
         assert run.spans == [] and run.metrics == {}
-        assert any("trace.jsonl" in w and "unreadable" in w for w in run.warnings)
+        # JSONL corruption degrades per line (torn tails keep good
+        # records); the single-document metrics.json is all-or-nothing.
+        assert any(
+            "trace.jsonl" in w and "malformed" in w for w in run.warnings
+        )
         assert any("metrics.json" in w and "unreadable" in w for w in run.warnings)
         render_report(run)  # still renders
 
