@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke runs-gc examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke runs-gc examples clean
 
 install:
 	python setup.py develop
@@ -39,10 +39,18 @@ microbench:
 # trace with the expected spans, spike-rate histograms, conversion
 # drift records and energy gauges is produced, the run registers in the
 # run registry, an identical-seed self-diff is regression-free, and
-# `dashboard --once` renders deterministically.  Also runs the
-# fault-tolerance smoke.
-smoke: faults-smoke
-	PYTHONPATH=src python -m repro.obs.smoke
+# `dashboard --once` renders deterministically.  Runs the
+# fault-tolerance smoke first and then the op-profiled variant (a
+# strict superset of the plain pipeline assertions).
+smoke: faults-smoke profile-smoke
+
+# The same smoke pipeline with the op profiler on: both runs must write
+# profile.jsonl + a repro.obs.profile/v1 summary with per-layer
+# attribution and deterministic aggregate keys, register the artefacts
+# in the run registry, export a loadable Chrome trace, and keep the
+# identical-seed self-diff clean with the profile series aligned.
+profile-smoke:
+	PYTHONPATH=src python -m repro.obs.smoke --profile
 
 # Compact the observed-run registry: drop entries whose run directories
 # are gone and keep only the 20 newest runs (the baseline always stays).

@@ -19,6 +19,7 @@ Examples::
 
     python -m repro.bench run
     python -m repro.bench run --out results/bench_current.json
+    python -m repro.bench run --run-dir results/bench_run --profile
     python -m repro.bench compare --candidate results/bench_current.json
     python -m repro.bench compare --threshold 0.25
 """
@@ -55,8 +56,11 @@ def _cmd_run(args) -> int:
         seq=seq,
         verbose=not args.quiet,
     )
+    if args.profile and not args.run_dir:
+        raise SystemExit("--profile requires --run-dir (profiles stream "
+                         "into the observed run directory)")
     if args.run_dir:
-        with observe(args.run_dir, bench=True):
+        with observe(args.run_dir, bench=True, profile=args.profile):
             report = run_benches(**kwargs)
     else:
         report = run_benches(**kwargs)
@@ -129,6 +133,9 @@ def main(argv=None) -> int:
                        help="override every case's warmup count")
     run_p.add_argument("--run-dir", default=None,
                        help="also record spans/metrics to this obs run dir")
+    run_p.add_argument("--profile", action="store_true",
+                       help="op-profile the benches with per-case "
+                            "attribution (requires --run-dir)")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress per-bench progress lines")
     run_p.set_defaults(fn=_cmd_run)

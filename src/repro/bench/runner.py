@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..obs import get_logger
+from ..obs import profile as obs_profile
 from ..obs.instruments import timed
 from .registry import BenchCase, iter_benches
 
@@ -92,11 +93,14 @@ def run_benches(
         effective[case.name] = {
             "repeats": case_repeats, "warmup": case_warmup,
         }
-        timing = timed(
-            f"bench.{case.name}", fn,
-            repeats=case_repeats, warmup=case_warmup,
-            bench=case.name, group=case.group,
-        )
+        # When the run is op-profiled (``run --profile``), attribute every
+        # op a case creates to a ``bench:<name>`` region; a no-op otherwise.
+        with obs_profile.region(f"bench:{case.name}"):
+            timing = timed(
+                f"bench.{case.name}", fn,
+                repeats=case_repeats, warmup=case_warmup,
+                bench=case.name, group=case.group,
+            )
         results[case.name] = {
             "group": case.group, "warmup": case_warmup, **timing.summary()
         }

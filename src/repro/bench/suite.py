@@ -195,6 +195,53 @@ def fused_spike_scan_micro():
     return run
 
 
+@register_bench("obs.profile_overhead", group="obs", repeats=9, warmup=2)
+def profile_overhead():
+    """Disabled-path cost of the op-profiler hook.
+
+    The profiler intercepts ``Tensor.from_op`` only while a profiler is
+    entered — with none active the pristine ``from_op`` is installed and
+    instrumented code must pay nothing.  This case times the
+    ``snn.full_forward_t2`` workload with profiling off and asserts it
+    stays within 5% of itself measured before the hook machinery was
+    ever exercised (a profiled pass runs in between to prove the
+    un-patch really restores the fast path).
+    """
+    from ..obs.profile import OpProfiler
+    from ..profiling import time_callable
+    from ..tensor import no_grad
+    from ..tensor.tensor import Tensor
+
+    snn, images = _converted_tiny_vgg("fused")
+
+    def run():
+        with no_grad():
+            return snn(images)
+
+    assert run().shape == (16, 10)
+    pristine = Tensor.from_op
+    # Tolerance: 5% relative plus a 0.1 ms absolute floor, retried a few
+    # times because two back-to-back minima on a busy host still jitter.
+    for attempt in range(3):
+        before = time_callable(run, repeats=9, warmup=2)
+        with OpProfiler() as profiler:
+            run()
+        assert profiler.records, "profiled pass recorded no ops"
+        assert Tensor.from_op is pristine, (
+            "OpProfiler exit did not restore the pristine Tensor.from_op"
+        )
+        after = time_callable(run, repeats=9, warmup=2)
+        if after.minimum <= before.minimum * 1.05 + 1e-4:
+            break
+    else:
+        raise AssertionError(
+            f"disabled-path overhead gate failed: "
+            f"{after.minimum * 1e3:.3f} ms after vs "
+            f"{before.minimum * 1e3:.3f} ms before (> 5% + 0.1 ms)"
+        )
+    return run
+
+
 @register_bench("snn.sgl_step_t2", group="snn", repeats=5)
 def sgl_train_step():
     """One SGL fine-tuning step (fused forward + BPTT backward)."""

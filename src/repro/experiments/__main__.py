@@ -75,14 +75,20 @@ def main(argv=None) -> int:
     parser.add_argument("--tag-baseline", action="store_true",
                         help="tag this observed run as the run registry's "
                              "diff baseline (requires --trace)")
+    parser.add_argument("--profile", action="store_true",
+                        help="also record an op-level performance profile "
+                             "into RUN_DIR (requires --trace)")
     args = parser.parse_args(argv)
 
     if args.tag_baseline and not args.trace:
         parser.error("--tag-baseline requires --trace RUN_DIR")
+    if args.profile and not args.trace:
+        parser.error("--profile requires --trace RUN_DIR")
 
     if args.trace:
         obs_configure(
             run_dir=args.trace,
+            profile=args.profile,
             experiment=args.experiment,
             arch=args.arch,
             dataset=args.dataset,

@@ -9,7 +9,9 @@ directory:
 - ``trace.jsonl``   — closed tracing spans (a nested timeline);
 - ``metrics.json``  — counters / gauges / histograms snapshot;
 - ``drift.jsonl``   — per-layer conversion-drift series
-  (:class:`DriftMonitor`), when a conversion was instrumented.
+  (:class:`DriftMonitor`), when a conversion was instrumented;
+- ``profile.jsonl`` / ``profile_summary.json`` — op-level performance
+  profile (:class:`OpProfiler`), when ``configure(profile=True)``.
 
 Quick start::
 
@@ -24,7 +26,7 @@ Quick start::
 then ``python -m repro.obs.report results/run_1`` renders the run.
 """
 
-from . import health, metrics, trace
+from . import health, metrics, profile, trace
 from .core import (
     configure,
     flush_metrics,
@@ -46,6 +48,7 @@ from .instruments import (
 )
 from .logging import Logger, console, get_logger, set_console_level
 from .metrics import MetricsRegistry, get_registry, reset_registry
+from .profile import OpProfiler
 from .registry import RunRegistry
 
 
@@ -93,6 +96,7 @@ __all__ = [
     "HealthMonitor",
     "Logger",
     "MetricsRegistry",
+    "OpProfiler",
     "RunRegistry",
     "StepMonitor",
     "configure",
@@ -110,6 +114,7 @@ __all__ = [
     "metrics",
     "monitored",
     "observe",
+    "profile",
     "record_energy_profile",
     "record_spike_profile",
     "render_report",

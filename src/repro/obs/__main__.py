@@ -9,9 +9,12 @@
     python -m repro.obs diff RUN_A RUN_B [--rtol ... --atol ... --json]
     python -m repro.obs diff RUN --baseline
     python -m repro.obs dashboard RUN_DIR [--once]
+    python -m repro.obs profile RUN_DIR [--top 10] [--json]
+    python -m repro.obs profile RUN_DIR --chrome-trace out.json
 
-``diff`` and ``dashboard`` delegate to :mod:`repro.obs.diff` and
-:mod:`repro.obs.dashboard`; ``runs`` operates on the registry at
+``diff``, ``dashboard`` and ``profile`` delegate to
+:mod:`repro.obs.diff`, :mod:`repro.obs.dashboard` and
+:mod:`repro.obs.profile`; ``runs`` operates on the registry at
 ``$REPRO_RUNS_ROOT`` (default ``runs/``).
 """
 
@@ -24,6 +27,7 @@ from typing import List, Optional
 
 from . import dashboard as dashboard_cli
 from . import diff as diff_cli
+from . import profile as profile_cli
 from .registry import RunRegistry, render_runs_table, runs_root
 
 
@@ -106,9 +110,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Observability toolkit: run registry, diffs, dashboard.",
+        description=("Observability toolkit: run registry, diffs, "
+                     "dashboard, op profiles."),
     )
-    parser.add_argument("tool", choices=("runs", "diff", "dashboard"),
+    parser.add_argument("tool",
+                        choices=("runs", "diff", "dashboard", "profile"),
                         help="sub-tool to run")
     parser.add_argument("rest", nargs=argparse.REMAINDER)
     args = parser.parse_args(argv)
@@ -117,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _runs_main(args.rest)
     if args.tool == "diff":
         return diff_cli.main(args.rest)
+    if args.tool == "profile":
+        return profile_cli.main(args.rest)
     return dashboard_cli.main(args.rest)
 
 

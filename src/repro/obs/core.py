@@ -65,6 +65,7 @@ def is_enabled() -> bool:
 def configure(
     run_dir: Optional[str] = None,
     enabled: bool = True,
+    profile: bool = False,
     **context,
 ) -> ObsState:
     """Start an observed run.
@@ -77,10 +78,17 @@ def configure(
     enabled:
         Master switch; ``configure(enabled=False)`` is equivalent to
         :func:`shutdown`.
+    profile:
+        Also record an op-level performance profile
+        (:mod:`repro.obs.profile`) into ``run_dir`` — ``profile.jsonl``
+        plus ``profile_summary.json`` at shutdown.  Requires a run
+        directory.
     context:
         Run-scoped fields merged into every event (e.g. ``arch=...``).
     """
     global _RUN_COUNTER
+    if profile and enabled and run_dir is None:
+        raise ValueError("profile=True requires a run_dir")
     shutdown()
     if not enabled:
         return _STATE
@@ -116,6 +124,10 @@ def configure(
 
         registry.register_run_start(_STATE.run_id, run_dir, _STATE.context)
         health.install(health.HealthMonitor(run_dir=run_dir))
+    if profile:
+        from . import profile as profile_mod
+
+        profile_mod.start_session(run_dir)
     return _STATE
 
 
@@ -128,9 +140,12 @@ def shutdown(status: str = "completed") -> None:
     run_id, run_dir = _STATE.run_id, _STATE.run_dir
     was_enabled = _STATE.enabled
     if was_enabled:
-        from . import health
+        from . import health, profile as profile_mod
 
         health.uninstall()
+        # Before the registry end-record below: the profiler's summary
+        # must exist on disk when the artefact inventory is scanned.
+        profile_mod.end_session()
         emit_event(
             {
                 "kind": "run_end",

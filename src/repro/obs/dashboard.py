@@ -4,7 +4,8 @@
     python -m repro.obs dashboard results/run_2/ --once     # one deterministic frame
 
 The dashboard *tails* the run's JSONL artefacts — ``events.jsonl``,
-``trace.jsonl``, ``alerts.jsonl``, ``drift.jsonl``, ``faults.jsonl`` —
+``trace.jsonl``, ``alerts.jsonl``, ``drift.jsonl``, ``faults.jsonl``,
+``profile.jsonl`` —
 through :class:`JsonlTailer`, which only ever consumes complete lines:
 a line still being written by the observed process (no trailing
 newline yet) is left for the next poll, and malformed lines are skipped
@@ -19,6 +20,8 @@ One frame shows:
 - per-layer spike-rate bars (latest health heartbeat, falling back to
   the ``health.spike_rate`` / ``snn.layer_spike_rate`` gauges);
 - the most recent health alerts;
+- the hottest primitive ops from the op profiler (when the run was
+  profiled);
 - a span waterfall of the slowest completed spans.
 
 ``--once`` renders exactly one frame with no clock reads and no ANSI
@@ -108,11 +111,12 @@ class DashboardState:
         self.health = JsonlTailer(os.path.join(run_dir, "alerts.jsonl"))
         self.drift = JsonlTailer(os.path.join(run_dir, "drift.jsonl"))
         self.faults = JsonlTailer(os.path.join(run_dir, "faults.jsonl"))
+        self.profile = JsonlTailer(os.path.join(run_dir, "profile.jsonl"))
         self.metrics: dict = {}
 
     def refresh(self) -> None:
         for tailer in (self.events, self.spans, self.health,
-                       self.drift, self.faults):
+                       self.drift, self.faults, self.profile):
             tailer.poll()
         path = os.path.join(self.run_dir, "metrics.json")
         try:
@@ -180,6 +184,22 @@ class DashboardState:
     def alerts(self) -> List[dict]:
         return [r for r in self.health.records if r.get("kind") == "alert"]
 
+    def hot_ops(self, top: int = 5) -> List[tuple]:
+        """``(op, total_s, count)`` of the costliest op kinds so far."""
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for record in self.profile.records:
+            if record.get("kind") != "op":
+                continue
+            dt = record.get("dt_s")
+            if not isinstance(dt, (int, float)):
+                continue
+            op = str(record.get("op", "?"))
+            totals[op] = totals.get(op, 0.0) + float(dt)
+            counts[op] = counts.get(op, 0) + 1
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [(op, total, counts[op]) for op, total in ranked[:top]]
+
 
 # ----------------------------------------------------------------------
 # Rendering primitives
@@ -243,7 +263,8 @@ def render_frame(state: DashboardState, width: int = 80) -> str:
         f"  faults {len(state.faults.records)}"
     )
     skipped = sum(t.skipped for t in (state.events, state.spans, state.health,
-                                      state.drift, state.faults))
+                                      state.drift, state.faults,
+                                      state.profile))
     if skipped:
         counts += f"  (skipped {skipped} malformed line(s))"
     lines.append(counts)
@@ -284,6 +305,20 @@ def render_frame(state: DashboardState, width: int = 80) -> str:
         lines.append(line[: width + 2])
     if not alerts:
         lines.append("   (none)")
+    lines.append(rule)
+
+    hot = state.hot_ops(top=5)
+    lines.append(" hot ops (top 5 by total time)")
+    if hot:
+        peak = max(total for _, total, _ in hot)
+        peak = max(peak, 1e-12)
+        for op, total, count in hot:
+            lines.append(
+                f"   {op[:16]:<16} {hbar(total / peak, max(10, width - 46))} "
+                f"{_format_duration(total)} ×{count}"
+            )
+    else:
+        lines.append("   (no op profile recorded)")
     lines.append(rule)
 
     spans = [

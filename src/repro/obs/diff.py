@@ -20,7 +20,10 @@ Aligned series
 - **span timings** aggregated per span name from ``trace.jsonl`` —
   reported for context but *never* gated: wall-clock differs between
   bit-identical runs, and a gate that flaps on scheduler noise is worse
-  than no gate (``repro.bench`` owns timing regressions).
+  than no gate (``repro.bench`` owns timing regressions);
+- **op-profile aggregates** (per-op totals/counts, per-layer totals)
+  from the run's ``repro.obs.profile/v1`` summary — informational like
+  span timings, never gated.
 
 Direction semantics
 -------------------
@@ -53,7 +56,7 @@ _DOWN_RE = re.compile(
     r"loss|gap|residual|faults\.|fault:|alerts|error|spikes_dropped|retries"
 )
 _SKIP_RE = re.compile(
-    r"seconds|duration_s|\.ts$|wall|span:|bench\.|memory|bytes"
+    r"seconds|duration_s|\.ts$|wall|span:|bench\.|memory|bytes|profile:"
 )
 
 
@@ -231,6 +234,26 @@ def extract_series(data: RunData) -> Dict[str, Tuple[str, float]]:
         by_rule[rule] = by_rule.get(rule, 0) + 1
     for rule, count in by_rule.items():
         series[f"alerts:{rule}"] = ("alert", float(count))
+
+    # Profile aggregates: per-op totals/counts and per-layer totals.
+    # Timing-valued and therefore informational only — the `profile:`
+    # prefix matches _SKIP_RE, so these align but never gate (the op
+    # *counts* are deterministic, but one knob for the family keeps the
+    # contract simple: repro.bench owns perf gating).
+    profile_summary = data.profile_summary
+    if not profile_summary and data.profile:
+        from .profile import aggregate as _aggregate
+
+        profile_summary = _aggregate(data.profile)
+    for name, entry in (profile_summary.get("by_op") or {}).items():
+        for key in ("count", "total_s"):
+            value = (entry or {}).get(key)
+            if isinstance(value, (int, float)):
+                series[f"profile:op.{name}.{key}"] = ("profile", float(value))
+    for name, entry in (profile_summary.get("by_layer") or {}).items():
+        value = (entry or {}).get("total_s")
+        if isinstance(value, (int, float)):
+            series[f"profile:layer.{name}.total_s"] = ("profile", float(value))
 
     by_span: Dict[str, float] = {}
     for span in data.spans:

@@ -60,6 +60,8 @@ KNOWN_ARTIFACTS = (
     "drift.jsonl",
     "faults.jsonl",
     "alerts.jsonl",
+    "profile.jsonl",
+    "profile_summary.json",
 )
 
 

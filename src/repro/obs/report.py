@@ -7,8 +7,10 @@
 Reads the run's ``trace.jsonl`` (spans), ``metrics.json`` (registry
 snapshot), ``events.jsonl`` (log records), ``drift.jsonl`` (per-layer
 conversion-drift series from :class:`repro.obs.drift.DriftMonitor`),
-``faults.jsonl`` (fault-injection events) and ``alerts.jsonl``
-(training-health alerts/heartbeats) — any subset may be missing, in
+``faults.jsonl`` (fault-injection events), ``alerts.jsonl``
+(training-health alerts/heartbeats) and ``profile.jsonl`` /
+``profile_summary.json`` (op-level profiler events and their
+``repro.obs.profile/v1`` aggregate) — any subset may be missing, in
 which case the report degrades to the available artefacts with an
 explicit warning line per missing file — and renders the span tree
 with durations (errored spans called out with their exception),
@@ -41,6 +43,8 @@ class RunData:
     faults: List[dict] = field(default_factory=list)
     alerts: List[dict] = field(default_factory=list)
     health: List[dict] = field(default_factory=list)
+    profile: List[dict] = field(default_factory=list)
+    profile_summary: dict = field(default_factory=dict)
     warnings: List[str] = field(default_factory=list)
 
 
@@ -113,6 +117,25 @@ def load_run(run_dir: str) -> RunData:
     ]
     if data.warnings and data.warnings[-1].startswith("`faults.jsonl` missing"):
         data.warnings.pop()
+    data.profile = [
+        r for r in _load_jsonl(data, "profile.jsonl", "op profile")
+        if r.get("kind") == "op"
+    ]
+    # profile.jsonl only exists for profiled runs; absence is normal.
+    if data.warnings and data.warnings[-1].startswith("`profile.jsonl` missing"):
+        data.warnings.pop()
+    summary_path = os.path.join(run_dir, "profile_summary.json")
+    if os.path.exists(summary_path):
+        try:
+            with open(summary_path, "r", encoding="utf-8") as fp:
+                summary = json.load(fp)
+            if isinstance(summary, dict):
+                data.profile_summary = summary
+        except (json.JSONDecodeError, OSError) as exc:
+            data.warnings.append(
+                f"`profile_summary.json` unreadable ({exc}) — "
+                "profile summary skipped"
+            )
     health_records = _load_jsonl(data, "alerts.jsonl", "health telemetry")
     data.alerts = [r for r in health_records if r.get("kind") == "alert"]
     data.health = [r for r in health_records if r.get("kind") == "health"]
@@ -150,6 +173,8 @@ def run_to_json(data: RunData) -> dict:
         "faults": list(data.faults),
         "alerts": list(data.alerts),
         "health": list(data.health),
+        "profile": list(data.profile),
+        "profile_summary": dict(data.profile_summary),
     }
 
 
@@ -255,6 +280,59 @@ def _render_drift(data: RunData, lines: List[str]) -> None:
         lines.append("")
 
 
+def _render_profile(data: RunData, lines: List[str]) -> None:
+    """The "Hot ops" section: top-k op-kind table plus per-layer
+    attribution, from the persisted summary or re-aggregated events."""
+    from .profile import UNATTRIBUTED, aggregate, format_bytes
+
+    summary = data.profile_summary or aggregate(data.profile)
+    total_s = float(summary.get("total_s") or 0.0)
+    lines.append(
+        f"## Hot ops ({summary.get('ops', 0)} ops, "
+        f"{_format_duration(total_s)} attributed, "
+        f"{format_bytes(summary.get('bytes_total') or 0)} allocated)"
+    )
+    lines.append("")
+    if summary.get("dropped"):
+        lines.append(
+            f"> ⚠ {summary['dropped']} op event(s) dropped past the "
+            "profiler's record cap"
+        )
+        lines.append("")
+    top = summary.get("top") or []
+    if top:
+        lines.append("| op | count | total | median | bytes | % of run |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | ---: |")
+        for entry in top:
+            lines.append(
+                f"| `{entry.get('op', '?')}` | {entry.get('count', 0)} "
+                f"| {_format_duration(entry.get('total_s'))} "
+                f"| {_format_duration(entry.get('median_s'))} "
+                f"| {format_bytes(entry.get('bytes') or 0)} "
+                f"| {float(entry.get('pct') or 0.0):.1f}% |"
+            )
+        lines.append("")
+    by_layer = summary.get("by_layer") or {}
+    attributed = {k: v for k, v in by_layer.items() if k != UNATTRIBUTED}
+    if attributed:
+        ranked = sorted(
+            by_layer.items(),
+            key=lambda item: (-(item[1].get("total_s") or 0.0), item[0]),
+        )
+        lines.append("### Per-layer attribution (top 10)")
+        lines.append("")
+        lines.append("| layer | ops | total | bytes | % of run |")
+        lines.append("| --- | ---: | ---: | ---: | ---: |")
+        for name, entry in ranked[:10]:
+            lines.append(
+                f"| `{name}` | {entry.get('count', 0)} "
+                f"| {_format_duration(entry.get('total_s'))} "
+                f"| {format_bytes(entry.get('bytes') or 0)} "
+                f"| {float(entry.get('pct') or 0.0):.1f}% |"
+            )
+        lines.append("")
+
+
 def render_report(data: RunData) -> str:
     """The full markdown report of one run."""
     lines = [f"# Run report — `{data.run_dir}`", ""]
@@ -341,6 +419,9 @@ def render_report(data: RunData) -> str:
 
     if data.drift:
         _render_drift(data, lines)
+
+    if data.profile or data.profile_summary:
+        _render_profile(data, lines)
 
     if data.alerts:
         lines.append(f"## Health alerts ({len(data.alerts)})")

@@ -16,6 +16,15 @@ The analytics layer is exercised on top of the same pipeline:
   deterministic, so only wall-clock series (never gated) may differ;
 - **dashboard snapshot** — ``dashboard --once`` must render the same
   frame twice for a finished run directory.
+
+With ``--profile`` (``make profile-smoke``) both pipeline runs are
+additionally op-profiled: each run directory must carry a
+``profile.jsonl`` plus a ``repro.obs.profile/v1`` summary with
+per-layer attribution, the two summaries must agree on their aggregate
+keys (deterministic substrate ⇒ deterministic op/layer sets), the
+registry inventory must list both profile artefacts, the Chrome-trace
+export must be loadable JSON, and the self-diff must stay clean with
+the profile series aligned.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ REQUIRED_SPANS = {"run_pipeline", "calibration", "algorithm1", "conversion", "sn
 _ARTEFACTS = (
     "trace.jsonl", "events.jsonl", "metrics.json",
     "drift.jsonl", "faults.jsonl", "alerts.jsonl",
+    "profile.jsonl", "profile_summary.json",
 )
 
 
@@ -51,6 +61,9 @@ def main(argv=None) -> int:
     parser.add_argument("--run-dir", default=os.path.join("results", "smoke_run"))
     parser.add_argument("--report", action="store_true",
                         help="print the rendered markdown report")
+    parser.add_argument("--profile", action="store_true",
+                        help="op-profile both runs and assert the "
+                             "profile artefacts/aggregates")
     args = parser.parse_args(argv)
 
     from ..experiments.config import SCALES, ExperimentConfig
@@ -85,7 +98,8 @@ def main(argv=None) -> int:
         clear_pipeline_cache()
         _clean_run_dir(run_dir)
         with observe(run_dir, smoke=True, arch=config.arch,
-                     timesteps=config.timesteps, seed=config.seed):
+                     timesteps=config.timesteps, seed=config.seed,
+                     profile=args.profile):
             run_ids.append(state().run_id)
             result = run_pipeline(config, fine_tune=False)
 
@@ -137,6 +151,66 @@ def main(argv=None) -> int:
                       "artefact inventory")
                 return 1
 
+    # Op-profile artefacts: schema, deterministic aggregates, export.
+    profile_note = ""
+    if args.profile:
+        import json as _json
+
+        from . import profile as profile_mod
+
+        summaries = []
+        for run_dir in (run_dir_a, run_dir_b):
+            jsonl_path = os.path.join(run_dir, profile_mod.PROFILE_FILENAME)
+            if not os.path.exists(jsonl_path) or os.path.getsize(jsonl_path) == 0:
+                print(f"SMOKE FAILED: empty or missing profile {jsonl_path}")
+                return 1
+            summary = profile_mod.load_summary(run_dir)
+            if not summary:
+                print(f"SMOKE FAILED: missing profile summary in {run_dir}")
+                return 1
+            if summary.get("schema") != profile_mod.PROFILE_SCHEMA:
+                print(f"SMOKE FAILED: profile summary schema is "
+                      f"{summary.get('schema')!r}, expected "
+                      f"{profile_mod.PROFILE_SCHEMA!r}")
+                return 1
+            layers = [name for name in summary.get("by_layer", {})
+                      if name != profile_mod.UNATTRIBUTED]
+            if not layers:
+                print(f"SMOKE FAILED: profile summary in {run_dir} has no "
+                      "attributed layers")
+                return 1
+            summaries.append(summary)
+        for table in ("by_op", "by_layer"):
+            keys_a = sorted(summaries[0].get(table, {}))
+            keys_b = sorted(summaries[1].get(table, {}))
+            if keys_a != keys_b:
+                print(f"SMOKE FAILED: profile {table} keys differ between "
+                      f"identical-seed runs: {keys_a} vs {keys_b}")
+                return 1
+        if registration_enabled():
+            entry = RunRegistry().get(run_ids[0])
+            artifacts = (entry or {}).get("artifacts") or {}
+            for name in (profile_mod.PROFILE_FILENAME,
+                         profile_mod.SUMMARY_FILENAME):
+                if name not in artifacts:
+                    print(f"SMOKE FAILED: registry inventory is missing "
+                          f"profile artefact {name!r}")
+                    return 1
+        chrome_path = os.path.join(run_dir_a, "chrome_trace.json")
+        code = profile_mod.main([run_dir_a, "--chrome-trace", chrome_path])
+        if code != 0:
+            print(f"SMOKE FAILED: profile --chrome-trace exited {code}")
+            return 1
+        with open(chrome_path, "r", encoding="utf-8") as fp:
+            trace_doc = _json.load(fp)
+        if not trace_doc.get("traceEvents"):
+            print("SMOKE FAILED: exported Chrome trace has no traceEvents")
+            return 1
+        profile_note = (
+            f"{summaries[0].get('ops', 0)} profiled ops over "
+            f"{len(summaries[0].get('by_layer', {}))} layers, "
+        )
+
     # Deterministic self-diff: same seed twice => zero regressions.
     diff = diff_run_dirs(run_dir_a, run_dir_b)
     if not diff.ok:
@@ -167,6 +241,7 @@ def main(argv=None) -> int:
         f"{len(spike_histograms)} spike-rate histograms, "
         f"{len(run.drift)} drift records, "
         f"{len(energy_gauges)} energy gauges, "
+        f"{profile_note}"
         f"self-diff clean over {len(diff.deltas)} aligned series, "
         f"dnn={result.dnn_accuracy:.3f} "
         f"conversion={result.conversion_accuracy:.3f} "

@@ -16,41 +16,28 @@ gradients enabled, which directly captures the unrolled-BPTT footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 import numpy as np
 
 from ..nn import Module
 from ..snn import SpikingNetwork
-from ..tensor import Tensor, no_grad
-
-_FLOAT_BYTES = 8.0  # the library computes in float64
+from ..tensor import Tensor, add_op_observer, no_grad, remove_op_observer
 
 
-class _FromOpPatch:
-    """Temporarily wrap ``Tensor.from_op`` with a callback."""
+class _OpObserverPatch:
+    """Register an op observer for the duration of a block (the shared
+    :func:`repro.tensor.add_op_observer` hook on ``Tensor.from_op``)."""
 
     def __init__(self, callback: Callable) -> None:
         self._callback = callback
-        self._original = None
 
     def __enter__(self):
-        # Accessing a staticmethod through the class yields the plain
-        # function, which is what we wrap and later restore.
-        original = Tensor.from_op
-        callback = self._callback
-
-        def wrapped(data, parents, backward_fn, name="op"):
-            out = original(data, parents, backward_fn, name)
-            callback(out)
-            return out
-
-        self._original = original
-        Tensor.from_op = staticmethod(wrapped)
+        add_op_observer(self._callback)
         return self
 
     def __exit__(self, *exc_info) -> None:
-        Tensor.from_op = staticmethod(self._original)
+        remove_op_observer(self._callback)
 
 
 class GraphMemoryMeter:
@@ -60,9 +47,9 @@ class GraphMemoryMeter:
     def __init__(self) -> None:
         self.bytes_allocated = 0.0
         self.tensors_created = 0
-        self._patch = _FromOpPatch(self._on_tensor)
+        self._patch = _OpObserverPatch(self._on_tensor)
 
-    def _on_tensor(self, tensor: Tensor) -> None:
+    def _on_tensor(self, tensor: Tensor, name: str = "op") -> None:
         if tensor._node is not None:
             self.bytes_allocated += tensor.data.nbytes
             self.tensors_created += 1
@@ -121,18 +108,18 @@ def training_memory(
     )
 
 
-def _traced_shapes(run: Callable[[], None]) -> List[Tuple[int, ...]]:
-    shapes: List[Tuple[int, ...]] = []
-    with _FromOpPatch(lambda t: shapes.append(t.data.shape)):
+def _traced_bytes(run: Callable[[], None]) -> List[int]:
+    """Actual bytes of every op output materialised by ``run`` — read
+    off each tensor's own dtype, so the float32 fast path is not
+    double-counted at float64 width."""
+    sizes: List[int] = []
+    with _OpObserverPatch(lambda t, name="op": sizes.append(t.data.nbytes)):
         run()
-    return shapes
+    return sizes
 
 
-def _top_two_bytes(shapes: List[Tuple[int, ...]]) -> float:
-    byte_sizes = sorted(
-        (float(np.prod(s)) * _FLOAT_BYTES for s in shapes), reverse=True
-    )
-    return sum(byte_sizes[:2])
+def _top_two_bytes(byte_sizes: List[int]) -> float:
+    return float(sum(sorted(byte_sizes, reverse=True)[:2]))
 
 
 def inference_memory(model: Module, input_shape, batch_size: int = 1) -> MemoryReport:
@@ -149,17 +136,17 @@ def inference_memory(model: Module, input_shape, batch_size: int = 1) -> MemoryR
         with no_grad():
             if isinstance(model, SpikingNetwork):
                 dummy = np.zeros((batch_size,) + tuple(input_shape))
-                shapes = _traced_shapes(lambda: model(dummy))
+                sizes = _traced_bytes(lambda: model(dummy))
                 membranes = sum(
                     neuron.membrane.data.nbytes
                     for neuron in model.spiking_neurons()
                     if neuron.membrane is not None
                 )
-                activations = _top_two_bytes(shapes) + float(membranes)
+                activations = _top_two_bytes(sizes) + float(membranes)
             else:
                 dummy_t = Tensor(np.zeros((batch_size,) + tuple(input_shape)))
-                shapes = _traced_shapes(lambda: model(dummy_t))
-                activations = _top_two_bytes(shapes)
+                sizes = _traced_bytes(lambda: model(dummy_t))
+                activations = _top_two_bytes(sizes)
     finally:
         model.train(was_training)
     return MemoryReport(

@@ -62,6 +62,30 @@ from .neurons import SpikingNeuron
 
 
 # ----------------------------------------------------------------------
+# Layer-attribution probe (repro.obs.profile)
+# ----------------------------------------------------------------------
+#: Installed by the op profiler so temporal loops can label which layer
+#: each primitive op belongs to.  A plain module global rather than an
+#: import: repro.obs imports repro.snn, so this module must never import
+#: the observability stack at top level.  The probe is a
+#: ``callable(label) -> context manager``; ``None`` keeps every loop on
+#: its fast path.
+_LAYER_PROBE = None
+
+
+def set_layer_probe(probe) -> None:
+    """Install (or clear, with ``None``) the per-layer profiling probe."""
+    global _LAYER_PROBE
+    _LAYER_PROBE = probe
+
+
+def layer_label(index: int, layer: Module) -> str:
+    """Stable attribution label: position plus innermost module type."""
+    inner = layer.inner if isinstance(layer, StepWrapper) else layer
+    return f"L{index}:{type(inner).__name__}"
+
+
+# ----------------------------------------------------------------------
 # Time folding: frames <-> (T*N, ...) batches, time-major blocks
 # ----------------------------------------------------------------------
 def fold_time(frames: List[Tensor]) -> Tensor:
@@ -239,13 +263,25 @@ class SpikingSequential(SpikingModule):
         return self
 
     def forward(self, x: Tensor) -> Tensor:
-        for layer in self._layer_list:
-            x = layer(x)
+        probe = _LAYER_PROBE
+        if probe is None:
+            for layer in self._layer_list:
+                x = layer(x)
+            return x
+        for index, layer in enumerate(self._layer_list):
+            with probe(layer_label(index, layer)):
+                x = layer(x)
         return x
 
     def forward_fused(self, x: Tensor, timesteps: int) -> Tensor:
-        for layer in self._layer_list:
-            x = apply_fused(layer, x, timesteps)
+        probe = _LAYER_PROBE
+        if probe is None:
+            for layer in self._layer_list:
+                x = apply_fused(layer, x, timesteps)
+            return x
+        for index, layer in enumerate(self._layer_list):
+            with probe(layer_label(index, layer)):
+                x = apply_fused(layer, x, timesteps)
         return x
 
     def __iter__(self) -> Iterator[Module]:
@@ -460,12 +496,24 @@ class SpikingNetwork(SpikingModule):
             # output T times, so the first weight layer(s) never
             # recompute the same result per step.
             prefix, rest = self._direct_prefix()
+            probe = _LAYER_PROBE
             out = direct_frame
-            for wrapper in prefix:
-                out = wrapper(out)
-            fused = tile_time(out, timesteps)
-            for layer in rest:
-                fused = apply_fused(layer, fused, timesteps)
+            if probe is None:
+                for wrapper in prefix:
+                    out = wrapper(out)
+                fused = tile_time(out, timesteps)
+                for layer in rest:
+                    fused = apply_fused(layer, fused, timesteps)
+            else:
+                # The flattened body keeps its positional labels: prefix
+                # layers are indices [0, len(prefix)), the rest follow.
+                for index, wrapper in enumerate(prefix):
+                    with probe(layer_label(index, wrapper)):
+                        out = wrapper(out)
+                fused = tile_time(out, timesteps)
+                for offset, layer in enumerate(rest):
+                    with probe(layer_label(len(prefix) + offset, layer)):
+                        fused = apply_fused(layer, fused, timesteps)
         else:
             fused = fold_time(frames)
             fused = apply_fused(self.body, fused, timesteps)

@@ -32,10 +32,12 @@ from .ops import (
 )
 from .tensor import (
     Tensor,
+    add_op_observer,
     concatenate,
     default_dtype,
     get_default_dtype,
     maximum,
+    remove_op_observer,
     set_default_dtype,
     stack,
     unbroadcast,
@@ -46,6 +48,7 @@ __all__ = [
     "GradMode",
     "Node",
     "Tensor",
+    "add_op_observer",
     "avg_pool2d",
     "check_gradients",
     "clip",
@@ -64,6 +67,7 @@ __all__ = [
     "numeric_gradient",
     "one_hot",
     "relu",
+    "remove_op_observer",
     "softmax",
     "stack",
     "threshold_relu",

@@ -474,6 +474,52 @@ class Tensor:
         return Tensor.from_op(out, (self,), bwd, "pad2d")
 
 
+# ----------------------------------------------------------------------
+# Op observers (profilers and memory meters)
+# ----------------------------------------------------------------------
+#: The pristine ``from_op`` function, captured before any observer can
+#: wrap it (class access on a staticmethod yields the plain function).
+_PRISTINE_FROM_OP = Tensor.from_op
+
+_OP_OBSERVERS: list = []
+
+
+def _dispatching_from_op(
+    data: np.ndarray,
+    parents: Sequence["Tensor"],
+    backward_fn: Callable,
+    name: str = "op",
+) -> "Tensor":
+    out = _PRISTINE_FROM_OP(data, parents, backward_fn, name)
+    for observer in _OP_OBSERVERS:
+        observer(out, name)
+    return out
+
+
+def add_op_observer(observer: Callable) -> None:
+    """Call ``observer(tensor, name)`` after every :meth:`Tensor.from_op`.
+
+    The dispatching wrapper is installed only while at least one
+    observer is registered; with none, ``Tensor.from_op`` is the
+    original function, so code that never profiles pays nothing.
+    Observers fire in registration order and must not raise.
+    """
+    _OP_OBSERVERS.append(observer)
+    if len(_OP_OBSERVERS) == 1:
+        Tensor.from_op = staticmethod(_dispatching_from_op)
+
+
+def remove_op_observer(observer: Callable) -> None:
+    """Unregister ``observer``; restores the pristine ``from_op`` when
+    the last observer leaves (unknown observers are ignored)."""
+    try:
+        _OP_OBSERVERS.remove(observer)
+    except ValueError:
+        return
+    if not _OP_OBSERVERS:
+        Tensor.from_op = staticmethod(_PRISTINE_FROM_OP)
+
+
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]

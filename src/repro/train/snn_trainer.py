@@ -23,6 +23,7 @@ from ..nn import CrossEntropyLoss
 from ..obs import get_logger
 from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
 from ..obs import trace
 from ..obs.instruments import record_spike_profile
 from ..optim import SGD, Adam, MultiStepLR, paper_milestones
@@ -238,10 +239,11 @@ class SNNTrainer:
                 while True:
                     snn.train()
                     try:
-                        losses, correct, seen, grad_norm = self._train_epoch(
-                            snn, optimizer, train_batches_factory,
-                            regularizer, noise_rng, guard,
-                        )
+                        with obs_profile.region("snn.train_epoch"):
+                            losses, correct, seen, grad_norm = self._train_epoch(
+                                snn, optimizer, train_batches_factory,
+                                regularizer, noise_rng, guard,
+                            )
                         break
                     except NonFiniteDetected as detected:
                         guard.recover(
@@ -266,7 +268,8 @@ class SNNTrainer:
                     snn.reset_spike_stats()
                     snn.set_recording(True)
                     try:
-                        test_acc = evaluate_snn(snn, test_batches_factory)
+                        with obs_profile.region("snn.eval"):
+                            test_acc = evaluate_snn(snn, test_batches_factory)
                         layer_rates = record_spike_profile(snn)
                     finally:
                         for neuron, was_recording in zip(
@@ -274,7 +277,8 @@ class SNNTrainer:
                         ):
                             neuron.recording = was_recording
                 elif test_batches_factory is not None:
-                    test_acc = evaluate_snn(snn, test_batches_factory)
+                    with obs_profile.region("snn.eval"):
+                        test_acc = evaluate_snn(snn, test_batches_factory)
                 else:
                     test_acc = float("nan")
                 history.record(

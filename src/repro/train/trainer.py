@@ -19,6 +19,7 @@ from ..nn import CrossEntropyLoss, Module, ThresholdReLU
 from ..obs import get_logger
 from ..obs import health as obs_health
 from ..obs import metrics as obs_metrics
+from ..obs import profile as obs_profile
 from ..obs import trace
 from ..optim import SGD, MultiStepLR, paper_milestones
 from ..tensor import Tensor
@@ -146,9 +147,10 @@ class DNNTrainer:
                 while True:
                     model.train()
                     try:
-                        losses, correct, seen, grad_norm = self._train_epoch(
-                            model, optimizer, train_batches_factory, guard
-                        )
+                        with obs_profile.region("dnn.train_epoch"):
+                            losses, correct, seen, grad_norm = self._train_epoch(
+                                model, optimizer, train_batches_factory, guard
+                            )
                         break
                     except NonFiniteDetected as detected:
                         guard.recover(
@@ -159,11 +161,11 @@ class DNNTrainer:
                     guard.note_good_epoch(model, epoch)
                 elapsed = time.perf_counter() - started
 
-                test_acc = (
-                    evaluate_dnn(model, test_batches_factory)
-                    if test_batches_factory is not None
-                    else float("nan")
-                )
+                if test_batches_factory is not None:
+                    with obs_profile.region("dnn.eval"):
+                        test_acc = evaluate_dnn(model, test_batches_factory)
+                else:
+                    test_acc = float("nan")
                 history.record(
                     epoch=epoch,
                     train_loss=float(np.mean(losses)) if losses else float("nan"),
