@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke runs-gc examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke stream-smoke runs-gc examples clean
 
 install:
 	python setup.py develop
@@ -40,9 +40,10 @@ microbench:
 # drift records and energy gauges is produced, the run registers in the
 # run registry, an identical-seed self-diff is regression-free, and
 # `dashboard --once` renders deterministically.  Runs the
-# fault-tolerance smoke first and then the op-profiled variant (a
-# strict superset of the plain pipeline assertions).
-smoke: faults-smoke profile-smoke
+# fault-tolerance smoke first, then the op-profiled variant (a
+# strict superset of the plain pipeline assertions), then the
+# streaming SLO + canary gate smoke.
+smoke: faults-smoke profile-smoke stream-smoke
 
 # The same smoke pipeline with the op profiler on: both runs must write
 # profile.jsonl + a repro.obs.profile/v1 summary with per-layer
@@ -51,6 +52,15 @@ smoke: faults-smoke profile-smoke
 # identical-seed self-diff clean with the profile series aligned.
 profile-smoke:
 	PYTHONPATH=src python -m repro.obs.smoke --profile
+
+# Streaming SLO + canary gate check: a short seeded stream must write
+# schema-valid slo.jsonl / slo_summary.json registered in the run
+# registry, injected burst windows must raise an slo_breach alert
+# visible in dashboard --once and the report, an identical-seed
+# self-canary must exit 0 (promote) and a weight-pruned candidate must
+# exit 1 (rollback) through the direction-aware diff engine.
+stream-smoke:
+	PYTHONPATH=src python -m repro.stream.smoke
 
 # Compact the observed-run registry: drop entries whose run directories
 # are gone and keep only the 20 newest runs (the baseline always stays).

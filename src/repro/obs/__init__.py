@@ -11,7 +11,9 @@ directory:
 - ``drift.jsonl``   — per-layer conversion-drift series
   (:class:`DriftMonitor`), when a conversion was instrumented;
 - ``profile.jsonl`` / ``profile_summary.json`` — op-level performance
-  profile (:class:`OpProfiler`), when ``configure(profile=True)``.
+  profile (:class:`OpProfiler`), when ``configure(profile=True)``;
+- ``slo.jsonl`` / ``slo_summary.json`` — streaming SLO windows and
+  breaches (:class:`SloTracker`), when a stream run is tracked.
 
 Quick start::
 
@@ -49,7 +51,8 @@ from .instruments import (
 from .logging import Logger, console, get_logger, set_console_level
 from .metrics import MetricsRegistry, get_registry, reset_registry
 from .profile import OpProfiler
-from .registry import RunRegistry
+from .registry import BaselineError, RunRegistry
+from .slo import SLOConfig, SloTracker
 
 
 def load_run(run_dir):
@@ -91,6 +94,7 @@ def diff_run_dirs(baseline_dir, candidate_dir, **kwargs):
 
 
 __all__ = [
+    "BaselineError",
     "DriftMonitor",
     "HealthConfig",
     "HealthMonitor",
@@ -98,6 +102,8 @@ __all__ = [
     "MetricsRegistry",
     "OpProfiler",
     "RunRegistry",
+    "SLOConfig",
+    "SloTracker",
     "StepMonitor",
     "configure",
     "console",

@@ -92,6 +92,13 @@ def _runs_main(argv: List[str]) -> int:
             + (f", deleted {summary['dirs_deleted']} dir(s)"
                if args.delete_dirs else "")
         )
+        if summary.get("baseline_cleared"):
+            print(
+                "warning: the tagged baseline's run directory was missing — "
+                "cleared the dangling baseline tag (re-tag with "
+                "`python -m repro.obs runs tag-baseline RUN_ID`)",
+                file=sys.stderr,
+            )
         return 0
 
     if args.command == "tag-baseline":

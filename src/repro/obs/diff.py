@@ -23,7 +23,12 @@ Aligned series
   than no gate (``repro.bench`` owns timing regressions);
 - **op-profile aggregates** (per-op totals/counts, per-layer totals)
   from the run's ``repro.obs.profile/v1`` summary — informational like
-  span timings, never gated.
+  span timings, never gated;
+- **sliding-window metrics** and the **streaming SLO summary**
+  (``slo_summary.json``): windowed/overall accuracy and SLO **breach
+  counts** gate direction-aware, while the latency / staleness /
+  throughput families are wall-clock-valued and never gate (same
+  contract as span timings — ``repro.bench`` owns perf).
 
 Direction semantics
 -------------------
@@ -55,13 +60,24 @@ _UP_RE = re.compile(r"accuracy|improvement")
 _DOWN_RE = re.compile(
     r"loss|gap|residual|faults\.|fault:|alerts|error|spikes_dropped|retries"
 )
+# Wall-clock-valued series never gate: latency / staleness / throughput
+# (the streaming SLO series) vary between bit-identical replays just
+# like span timings do, so they align for context only — the *breach
+# counts* and sliding accuracy those SLOs produce are what gates.
 _SKIP_RE = re.compile(
     r"seconds|duration_s|\.ts$|wall|span:|bench\.|memory|bytes|profile:"
+    r"|latency|staleness|throughput"
 )
 
 
 def metric_direction(name: str) -> str:
     """Infer gating semantics from a metric/series name."""
+    # Breach counts gate "down" before any other rule fires: they are
+    # counts, not wall-clock values, even when named after the latency
+    # objective ("slo:breaches.latency") or an up-gated one
+    # ("slo:breaches.accuracy").
+    if "breach" in name:
+        return "down"
     if _SKIP_RE.search(name):
         return "skip"
     if _UP_RE.search(name):
@@ -208,6 +224,15 @@ def extract_series(data: RunData) -> Dict[str, Tuple[str, float]]:
             series[f"histogram:{name}.count"] = ("histogram", float(count))
         if isinstance(mean, (int, float)):
             series[f"histogram:{name}.mean"] = ("histogram", float(mean))
+    # Sliding-window metrics (the streaming SLO aggregates): mean and
+    # lifetime count align; the latency/staleness/throughput families
+    # stay informational via _SKIP_RE while windowed accuracy gates.
+    for name, payload in (metrics.get("windows") or {}).items():
+        payload = payload or {}
+        for key in ("mean", "total_count"):
+            value = payload.get(key)
+            if isinstance(value, (int, float)):
+                series[f"window:{name}.{key}"] = ("window", float(value))
 
     # Latest-snapshot per-layer drift.
     if data.drift:
@@ -254,6 +279,30 @@ def extract_series(data: RunData) -> Dict[str, Tuple[str, float]]:
         value = (entry or {}).get("total_s")
         if isinstance(value, (int, float)):
             series[f"profile:layer.{name}.total_s"] = ("profile", float(value))
+
+    # Streaming SLO summary: breach counts (lower is better) and
+    # accuracy statistics (higher is better) gate via their names;
+    # latency / staleness percentiles align but stay informational.
+    slo_summary = data.slo_summary or {}
+    for key in ("windows", "frames"):
+        value = slo_summary.get(key)
+        if isinstance(value, (int, float)):
+            series[f"slo:{key}"] = ("slo", float(value))
+    for family in ("latency_s", "staleness_s", "accuracy"):
+        entry = slo_summary.get(family) or {}
+        for key in ("mean", "p50", "p95", "p99"):
+            value = entry.get(key)
+            if isinstance(value, (int, float)):
+                series[f"slo:{family}.{key}"] = ("slo", float(value))
+    value = slo_summary.get("sliding_accuracy")
+    if isinstance(value, (int, float)):
+        series["slo:sliding_accuracy"] = ("slo", float(value))
+    for objective, count in (slo_summary.get("breaches") or {}).items():
+        if isinstance(count, (int, float)):
+            series[f"slo:breaches.{objective}"] = ("slo", float(count))
+    value = slo_summary.get("breaches_total")
+    if isinstance(value, (int, float)):
+        series["slo:breaches_total"] = ("slo", float(value))
 
     by_span: Dict[str, float] = {}
     for span in data.spans:
@@ -375,12 +424,12 @@ def main(argv=None) -> int:
     if args.use_registry_baseline:
         if args.run_b is not None:
             parser.error("give either two run directories or --baseline, not both")
-        from .registry import RunRegistry
+        from .registry import BaselineError, RunRegistry
 
-        tagged = RunRegistry().baseline()
-        if tagged is None or not tagged.get("run_dir"):
-            parser.error("no baseline run tagged in the registry "
-                         "(use `python -m repro.obs runs tag-baseline RUN_ID`)")
+        try:
+            tagged = RunRegistry().require_baseline()
+        except BaselineError as exc:
+            parser.error(str(exc))
         baseline_dir, candidate_dir = tagged["run_dir"], args.run_a
     elif args.run_b is None:
         parser.error("candidate run directory required (or pass --baseline)")

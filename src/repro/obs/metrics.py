@@ -17,11 +17,15 @@ Typical instrument points in this repository:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from .core import _STATE
 
 _MAX_SAMPLES = 65_536
+
+#: Default sample capacity of a sliding-window metric.
+DEFAULT_WINDOW_SIZE = 64
 
 
 class Counter:
@@ -115,6 +119,61 @@ class Histogram:
         return self.percentile(50.0)
 
 
+class SlidingWindow:
+    """Distribution over the most recent N samples (SLO aggregation).
+
+    Unlike :class:`Histogram`, which accumulates a run-lifetime
+    distribution, a sliding window forgets: quantiles and means describe
+    only the last ``size`` observations, which is what a streaming SLO
+    ("p95 latency over the recent past") means.  The lifetime sample
+    count is kept exact so rates can still be derived.
+    """
+
+    __slots__ = ("size", "samples", "total_count")
+
+    def __init__(self, size: int = DEFAULT_WINDOW_SIZE) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self.samples: Deque[float] = deque(maxlen=size)
+        self.total_count = 0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+        self.total_count += 1
+
+    @property
+    def count(self) -> int:
+        """Samples currently inside the window."""
+        return len(self.samples)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.samples[-1] if self.samples else None
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linearly interpolated percentile over the current window."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self.samples:
+            raise ValueError(
+                "cannot take a percentile of an empty window "
+                "(no samples observed)"
+            )
+        ordered = sorted(self.samples)
+        position = (len(ordered) - 1) * q / 100.0
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
 MetricKey = Tuple[str, Tuple[Tuple[str, object], ...]]
 
 
@@ -137,6 +196,7 @@ class MetricsRegistry:
         self._counters: Dict[MetricKey, Counter] = {}
         self._gauges: Dict[MetricKey, Gauge] = {}
         self._histograms: Dict[MetricKey, Histogram] = {}
+        self._windows: Dict[MetricKey, SlidingWindow] = {}
 
     # -- accessors (create on first use) -------------------------------
     def counter(self, name: str, **labels) -> Counter:
@@ -148,6 +208,12 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels) -> Histogram:
         return self._histograms.setdefault(_key(name, labels), Histogram())
 
+    def window(
+        self, name: str, size: int = DEFAULT_WINDOW_SIZE, **labels
+    ) -> SlidingWindow:
+        """Sliding-window metric; ``size`` applies on first creation."""
+        return self._windows.setdefault(_key(name, labels), SlidingWindow(size))
+
     # -- write-style shorthands ----------------------------------------
     def inc(self, name: str, amount: float = 1.0, **labels) -> None:
         self.counter(name, **labels).inc(amount)
@@ -158,13 +224,24 @@ class MetricsRegistry:
     def observe(self, name: str, value: float, **labels) -> None:
         self.histogram(name, **labels).observe(value)
 
+    def observe_window(
+        self, name: str, value: float, size: int = DEFAULT_WINDOW_SIZE, **labels
+    ) -> None:
+        self.window(name, size, **labels).observe(value)
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._windows.clear()
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+            + len(self._windows)
+        )
 
     def snapshot(self) -> dict:
         """JSON-ready summary of every metric."""
@@ -190,6 +267,21 @@ class MetricsRegistry:
                     "p95": h.percentile(95.0) if h.samples else None,
                 }
                 for k, h in sorted(self._histograms.items())
+            },
+            "windows": {
+                _render_key(k): {
+                    "size": w.size,
+                    "count": w.count,
+                    "total_count": w.total_count,
+                    "mean": w.mean,
+                    "last": w.last,
+                    "min": min(w.samples) if w.samples else None,
+                    "max": max(w.samples) if w.samples else None,
+                    "p50": w.percentile(50.0) if w.samples else None,
+                    "p95": w.percentile(95.0) if w.samples else None,
+                    "p99": w.percentile(99.0) if w.samples else None,
+                }
+                for k, w in sorted(self._windows.items())
             },
         }
 
@@ -222,3 +314,10 @@ def gauge(name: str, value: float, **labels) -> None:
 def observe(name: str, value: float, **labels) -> None:
     if _STATE.enabled:
         _GLOBAL.observe(name, value, **labels)
+
+
+def observe_window(
+    name: str, value: float, size: int = DEFAULT_WINDOW_SIZE, **labels
+) -> None:
+    if _STATE.enabled:
+        _GLOBAL.observe_window(name, value, size, **labels)

@@ -62,7 +62,22 @@ KNOWN_ARTIFACTS = (
     "alerts.jsonl",
     "profile.jsonl",
     "profile_summary.json",
+    "slo.jsonl",
+    "slo_summary.json",
+    "stream_meta.json",
+    "model.npz",
+    "canary.json",
 )
+
+
+class BaselineError(LookupError):
+    """The registry's baseline tag cannot serve a comparison.
+
+    Raised with an actionable message (no tag, unknown run, or a tag
+    left dangling after the run directory was deleted/gc'd) so
+    ``diff --baseline`` and ``repro.stream canary`` fail cleanly
+    instead of stack-tracing on a dead path.
+    """
 
 
 def runs_root() -> str:
@@ -225,6 +240,36 @@ class RunRegistry:
         run_id = self.baseline_id()
         return self.get(run_id) if run_id else None
 
+    def require_baseline(self) -> dict:
+        """The tagged baseline entry, guaranteed usable for comparison.
+
+        Raises :class:`BaselineError` with an actionable message when no
+        baseline is tagged, the tag names an unknown run, or the tag is
+        *dangling* — its run directory was deleted or gc'd out from
+        under it.
+        """
+        run_id = self.baseline_id()
+        if run_id is None:
+            raise BaselineError(
+                "no baseline run tagged in the registry (use "
+                "`python -m repro.obs runs tag-baseline RUN_ID`)"
+            )
+        run = self.get(run_id)
+        if run is None:
+            raise BaselineError(
+                f"baseline tag points at unknown run '{run_id}' — re-tag "
+                "with `python -m repro.obs runs tag-baseline RUN_ID`"
+            )
+        run_dir = run.get("run_dir")
+        if not run_dir or not os.path.isdir(run_dir):
+            raise BaselineError(
+                f"baseline run '{run_id}' points at a missing directory "
+                f"({run_dir or 'no run_dir recorded'}) — the tag is "
+                "dangling; run `python -m repro.obs runs gc` to clear it, "
+                "then tag a live run"
+            )
+        return run
+
     # -- retention -----------------------------------------------------
     def gc(
         self,
@@ -235,28 +280,36 @@ class RunRegistry:
         """Compact the index: fold records, prune stale runs.
 
         - ``drop_missing`` removes entries whose run directory no longer
-          exists on disk;
+          exists on disk — including the tagged baseline, whose tag is
+          then *cleared* (a tag pointing at a dead path would make every
+          later ``diff --baseline`` / ``canary`` fail);
         - ``keep`` retains only the newest N surviving runs (by last
-          timestamp); the tagged baseline run is always retained;
+          timestamp); a live tagged baseline run is always retained;
         - ``delete_dirs`` additionally deletes the pruned runs' artefact
           directories (never the baseline's).
 
         The index is rewritten atomically (one folded record per
         surviving run plus the baseline marker).  Returns a summary
-        ``{"kept": ..., "dropped": ..., "dirs_deleted": ...}``.
+        ``{"kept": ..., "dropped": ..., "dirs_deleted": ...,
+        "baseline_cleared": ...}``.
         """
         if keep is not None and keep < 0:
             raise ValueError("keep must be non-negative")
         runs = self.runs()
         baseline_id = self.baseline_id()
+        baseline_cleared = False
         survivors, dropped = [], []
         for run in runs:
             run_dir = run.get("run_dir")
             missing = not (run_dir and os.path.isdir(run_dir))
-            if drop_missing and missing and run["run_id"] != baseline_id:
+            if drop_missing and missing:
+                if run["run_id"] == baseline_id:
+                    baseline_cleared = True
                 dropped.append(run)
             else:
                 survivors.append(run)
+        if baseline_cleared:
+            baseline_id = None
         if keep is not None and len(survivors) > keep:
             survivors.sort(key=lambda r: r.get("ts") or 0.0)
             pruned = []
@@ -284,6 +337,7 @@ class RunRegistry:
             "kept": len(survivors),
             "dropped": len(dropped),
             "dirs_deleted": dirs_deleted,
+            "baseline_cleared": baseline_cleared,
         }
 
     def _rewrite(self, runs: List[dict], baseline_id: Optional[str]) -> None:

@@ -8,9 +8,12 @@ Reads the run's ``trace.jsonl`` (spans), ``metrics.json`` (registry
 snapshot), ``events.jsonl`` (log records), ``drift.jsonl`` (per-layer
 conversion-drift series from :class:`repro.obs.drift.DriftMonitor`),
 ``faults.jsonl`` (fault-injection events), ``alerts.jsonl``
-(training-health alerts/heartbeats) and ``profile.jsonl`` /
+(training-health alerts/heartbeats), ``profile.jsonl`` /
 ``profile_summary.json`` (op-level profiler events and their
-``repro.obs.profile/v1`` aggregate) — any subset may be missing, in
+``repro.obs.profile/v1`` aggregate), ``slo.jsonl`` /
+``slo_summary.json`` (streaming SLO windows and breaches from
+:class:`repro.obs.slo.SloTracker`) and ``canary.json`` (the canary
+gate's promote/rollback verdict) — any subset may be missing, in
 which case the report degrades to the available artefacts with an
 explicit warning line per missing file — and renders the span tree
 with durations (errored spans called out with their exception),
@@ -45,6 +48,10 @@ class RunData:
     health: List[dict] = field(default_factory=list)
     profile: List[dict] = field(default_factory=list)
     profile_summary: dict = field(default_factory=dict)
+    slo: List[dict] = field(default_factory=list)
+    slo_breaches: List[dict] = field(default_factory=list)
+    slo_summary: dict = field(default_factory=dict)
+    canary: dict = field(default_factory=dict)
     warnings: List[str] = field(default_factory=list)
 
 
@@ -88,6 +95,24 @@ def _load_jsonl(data: RunData, filename: str, what: str) -> List[dict]:
             "(truncated tail?)"
         )
     return records
+
+
+def _load_json_object(data: RunData, filename: str, what: str) -> dict:
+    """Read one optional JSON-object artefact; absence is silent (these
+    files only exist for streaming/canary runs), unreadability warns."""
+    path = os.path.join(data.run_dir, filename)
+    if not os.path.exists(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            payload = json.load(fp)
+    except (json.JSONDecodeError, OSError) as exc:
+        data.warnings.append(f"`{filename}` unreadable ({exc}) — {what} skipped")
+        return {}
+    if not isinstance(payload, dict):
+        data.warnings.append(f"`{filename}` is not a JSON object — {what} skipped")
+        return {}
+    return payload
 
 
 def load_run(run_dir: str) -> RunData:
@@ -136,6 +161,14 @@ def load_run(run_dir: str) -> RunData:
                 f"`profile_summary.json` unreadable ({exc}) — "
                 "profile summary skipped"
             )
+    slo_records = _load_jsonl(data, "slo.jsonl", "streaming SLO telemetry")
+    data.slo = [r for r in slo_records if r.get("kind") == "window"]
+    data.slo_breaches = [r for r in slo_records if r.get("kind") == "breach"]
+    # slo.jsonl only exists for streaming runs; absence is normal.
+    if data.warnings and data.warnings[-1].startswith("`slo.jsonl` missing"):
+        data.warnings.pop()
+    data.slo_summary = _load_json_object(data, "slo_summary.json", "SLO summary")
+    data.canary = _load_json_object(data, "canary.json", "canary verdict")
     health_records = _load_jsonl(data, "alerts.jsonl", "health telemetry")
     data.alerts = [r for r in health_records if r.get("kind") == "alert"]
     data.health = [r for r in health_records if r.get("kind") == "health"]
@@ -175,6 +208,10 @@ def run_to_json(data: RunData) -> dict:
         "health": list(data.health),
         "profile": list(data.profile),
         "profile_summary": dict(data.profile_summary),
+        "slo": list(data.slo),
+        "slo_breaches": list(data.slo_breaches),
+        "slo_summary": dict(data.slo_summary),
+        "canary": dict(data.canary),
     }
 
 
@@ -333,6 +370,102 @@ def _render_profile(data: RunData, lines: List[str]) -> None:
         lines.append("")
 
 
+def _render_canary(data: RunData, lines: List[str]) -> None:
+    """The "Canary verdict" section — rendered first because the
+    promote/rollback decision is what a release reader opens the report
+    for."""
+    canary = data.canary
+    verdict = canary.get("verdict", "?")
+    icon = {"promote": "✅", "rollback": "❌"}.get(verdict, "❓")
+    lines.append(f"## Canary verdict: {icon} {verdict.upper()}")
+    lines.append("")
+    candidate = canary.get("candidate") or {}
+    baseline = canary.get("baseline") or {}
+    lines.append(f"- candidate: `{candidate.get('source', '?')}` "
+                 f"(replay `{candidate.get('replay_dir', '?')}`)")
+    lines.append(f"- baseline: `{baseline.get('source', '?')}` "
+                 f"(replay `{baseline.get('replay_dir', '?')}`)")
+    stream = canary.get("stream") or {}
+    if stream:
+        lines.append(
+            f"- stream: seed {stream.get('seed', '?')}, "
+            f"{stream.get('num_windows', '?')} windows × "
+            f"{stream.get('window_size', '?')} frames"
+        )
+    regressions = canary.get("regressions") or []
+    if regressions:
+        lines.append(f"- {len(regressions)} gated regression(s):")
+        for entry in regressions[:10]:
+            lines.append(
+                f"  - `{entry.get('name', '?')}`: "
+                f"{_fmt(entry.get('baseline'))} → {_fmt(entry.get('candidate'))}"
+            )
+    else:
+        lines.append("- no gated regressions against the baseline replay")
+    lines.append("")
+
+
+def _render_slo(data: RunData, lines: List[str]) -> None:
+    """The "Streaming SLO" section: objective stats vs. targets, breach
+    counts and the tail of the breach log."""
+    summary = data.slo_summary or {}
+    windows = summary.get("windows", len(data.slo))
+    frames = summary.get("frames", "?")
+    lines.append(f"## Streaming SLO ({windows} windows, {frames} frames)")
+    lines.append("")
+    targets = summary.get("targets") or {}
+    stats = {
+        "latency_s": summary.get("latency_s"),
+        "staleness_s": summary.get("staleness_s"),
+        "accuracy": summary.get("accuracy"),
+        "spikes_per_frame": summary.get("spikes_per_frame"),
+    }
+    target_cells = {
+        "latency_s": targets.get("latency_s"),
+        "staleness_s": targets.get("staleness_s"),
+        "accuracy": targets.get("accuracy_floor"),
+    }
+    if any(stats.values()):
+        lines.append("| objective | target | mean | p50 | p95 | p99 | max |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | ---: | ---: |")
+        for name, payload in stats.items():
+            if not payload:
+                continue
+            lines.append(
+                f"| {name} | {_fmt(target_cells.get(name))} "
+                f"| {_fmt(payload.get('mean'))} | {_fmt(payload.get('p50'))} "
+                f"| {_fmt(payload.get('p95'))} | {_fmt(payload.get('p99'))} "
+                f"| {_fmt(payload.get('max'))} |"
+            )
+        lines.append("")
+    sliding = summary.get("sliding_accuracy")
+    if isinstance(sliding, (int, float)):
+        lines.append(f"final sliding accuracy: {sliding:.4g}")
+        lines.append("")
+    breaches = summary.get("breaches") or {}
+    total = summary.get("breaches_total", sum(breaches.values()))
+    if total:
+        lines.append(
+            f"**{total} SLO breach window(s)** — "
+            + ", ".join(f"{k}: {v}" for k, v in sorted(breaches.items()))
+        )
+        lines.append("")
+        if data.slo_breaches:
+            lines.append("### Breach log (last 10)")
+            lines.append("")
+            for record in data.slo_breaches[-10:]:
+                lines.append(
+                    f"- window {record.get('window', '?')}: "
+                    f"`{record.get('objective', '?')}` "
+                    f"{_fmt(record.get('value'))} vs target "
+                    f"{_fmt(record.get('target'))}"
+                )
+            lines.append("")
+    else:
+        lines.append("no SLO breaches recorded")
+        lines.append("")
+
+
 def render_report(data: RunData) -> str:
     """The full markdown report of one run."""
     lines = [f"# Run report — `{data.run_dir}`", ""]
@@ -341,6 +474,9 @@ def render_report(data: RunData) -> str:
         lines.append(f"> ⚠ {warning}")
     if data.warnings:
         lines.append("")
+
+    if data.canary:
+        _render_canary(data, lines)
 
     lines.append(f"## Spans ({len(data.spans)})")
     lines.append("")
@@ -422,6 +558,9 @@ def render_report(data: RunData) -> str:
 
     if data.profile or data.profile_summary:
         _render_profile(data, lines)
+
+    if data.slo or data.slo_summary:
+        _render_slo(data, lines)
 
     if data.alerts:
         lines.append(f"## Health alerts ({len(data.alerts)})")

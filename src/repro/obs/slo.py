@@ -1,0 +1,376 @@
+"""Streaming SLO layer: per-window service objectives over a stream run.
+
+A batch run is judged once, at the end; a streaming deployment is
+judged continuously.  :class:`SloTracker` consumes one record per
+processed stream window (wall-clock latency, result staleness,
+window accuracy, spike traffic) and maintains the operational view:
+
+- sliding-window aggregates in the metrics registry
+  (``slo.window_latency_s`` / ``slo.staleness_s`` / ``slo.accuracy`` /
+  ``slo.throughput_fps`` windows, ``slo.spikes_per_frame`` gauge,
+  ``slo.windows`` / ``slo.frames`` counters) — recent-past quantiles,
+  which is what an SLO means;
+- one schema-versioned JSONL record per window in ``slo.jsonl``
+  (plus one ``kind: "breach"`` record per objective violation), the
+  stream twin of ``drift.jsonl`` / ``profile.jsonl``;
+- SLO-breach alerts through the existing :class:`HealthMonitor` /
+  ``alerts.jsonl`` path (rule ``slo_breach``), re-armed once per
+  pathological stretch so a sustained burst yields one alert per
+  objective, not one per window;
+- ``slo_summary.json`` at :meth:`close` — lifetime p50/p95/p99
+  latency and staleness, overall and final sliding accuracy, and
+  breach counts per objective.  This is the artefact the canary gate
+  diffs.
+
+Latency and staleness targets auto-calibrate when not given: the first
+``calibration_windows`` windows establish a median, and the target is
+``target_factor`` times it — a self-relative SLO that ports across
+hosts of very different speeds (CI runners vs. laptops) without
+hand-tuned absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from . import health as obs_health
+from . import metrics as obs_metrics
+from .core import _STATE, is_enabled
+from .metrics import Histogram, MetricsRegistry
+
+SLO_SCHEMA = "repro.obs.slo/v1"
+SLO_SCHEMA_VERSION = 1
+SLO_FILENAME = "slo.jsonl"
+SLO_SUMMARY_FILENAME = "slo_summary.json"
+
+#: Objectives a breach record may name.
+OBJECTIVES = ("latency", "staleness", "accuracy")
+
+
+@dataclass
+class SLOConfig:
+    """Service-level objectives for a streaming run.
+
+    - ``window``: sliding-window size (in stream windows) for the
+      recent-past aggregates;
+    - ``latency_target_s`` / ``staleness_target_s``: absolute targets;
+      ``None`` auto-calibrates each as ``target_factor`` times the
+      median of the first ``calibration_windows`` windows;
+    - ``accuracy_floor``: the sliding-window accuracy must stay at or
+      above this fraction;
+    - ``calibration_windows``: windows consumed before gating starts
+      (auto-calibrated targets are frozen at that point).
+    """
+
+    window: int = 32
+    latency_target_s: Optional[float] = None
+    staleness_target_s: Optional[float] = None
+    accuracy_floor: float = 0.5
+    calibration_windows: int = 8
+    target_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.calibration_windows < 1:
+            raise ValueError("calibration_windows must cover at least one window")
+        if not 0.0 <= self.accuracy_floor <= 1.0:
+            raise ValueError("accuracy_floor must lie in [0, 1]")
+        if self.target_factor <= 1.0:
+            raise ValueError("target_factor must exceed 1")
+
+
+class SloTracker:
+    """Aggregates per-window stream telemetry against an :class:`SLOConfig`.
+
+    Parameters follow the telemetry convention (:class:`HealthMonitor`,
+    ``FaultTelemetry``): ``registry`` defaults to the global one (which
+    only records while observability is enabled), ``run_dir`` defaults
+    to the active observed run's directory, and breaches route to the
+    installed health monitor (falling back to a private one bound to
+    the same run directory, so ``alerts.jsonl`` is written either way).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        run_dir: Optional[str] = None,
+        monitor: Optional[obs_health.HealthMonitor] = None,
+        prefix: str = "slo",
+    ) -> None:
+        self.config = config if config is not None else SLOConfig()
+        self.prefix = prefix
+        self.registry = registry if registry is not None else obs_metrics.get_registry()
+        self._global_registry = registry is None
+        if run_dir is None:
+            run_dir = _STATE.run_dir
+        self.run_dir = run_dir
+        self._monitor = monitor
+        self._own_monitor: Optional[obs_health.HealthMonitor] = None
+        self._fp = None
+        self.records: List[dict] = []
+        self.breaches: Dict[str, int] = {}
+        self._breach_active: Dict[str, bool] = {}
+        self.windows_seen = 0
+        self.frames_seen = 0
+        # Lifetime distributions for the summary (exact count/sum,
+        # bounded reservoir for quantiles — same trade-off as Histogram).
+        self._latency = Histogram()
+        self._staleness = Histogram()
+        self._accuracy = Histogram()
+        self._spikes_per_frame = Histogram()
+        # Sliding accuracy over the recent past is the gated quantity —
+        # kept locally so explicit-registry trackers gate identically to
+        # global-registry ones.
+        self._acc_window = obs_metrics.SlidingWindow(self.config.window)
+        self._sliding_accuracy: Optional[float] = None
+        # Calibration state: medians freeze into targets once the
+        # calibration window count is reached.
+        self._latency_target = self.config.latency_target_s
+        self._staleness_target = self.config.staleness_target_s
+        self._calibration_latencies: List[float] = []
+        self._calibration_staleness: List[float] = []
+
+    # ------------------------------------------------------------------
+    def _record_metrics(self) -> bool:
+        return not self._global_registry or is_enabled()
+
+    def _write(self, record: dict) -> None:
+        if len(self.records) < obs_health._MAX_RECORDS:
+            self.records.append(record)
+        if self._fp is None and self.run_dir is not None:
+            os.makedirs(self.run_dir, exist_ok=True)
+            self._fp = open(
+                os.path.join(self.run_dir, SLO_FILENAME), "a", encoding="utf-8"
+            )
+        if self._fp is not None:
+            self._fp.write(json.dumps(record, default=repr) + "\n")
+            self._fp.flush()
+
+    def _alert_monitor(self) -> Optional[obs_health.HealthMonitor]:
+        if self._monitor is not None:
+            return self._monitor
+        active = obs_health.active()
+        if active is not None:
+            return active
+        if self.run_dir is not None:
+            if self._own_monitor is None:
+                self._own_monitor = obs_health.HealthMonitor(run_dir=self.run_dir)
+            return self._own_monitor
+        return None
+
+    # ------------------------------------------------------------------
+    def targets(self) -> dict:
+        """The currently effective objective targets (None = not yet
+        calibrated / not gated)."""
+        return {
+            "latency_s": self._latency_target,
+            "staleness_s": self._staleness_target,
+            "accuracy_floor": self.config.accuracy_floor,
+        }
+
+    def _calibrate(self, latency_s: float, staleness_s: float) -> None:
+        cfg = self.config
+        if self._latency_target is None:
+            self._calibration_latencies.append(latency_s)
+            if len(self._calibration_latencies) >= cfg.calibration_windows:
+                ordered = sorted(self._calibration_latencies)
+                median = ordered[len(ordered) // 2]
+                self._latency_target = cfg.target_factor * max(median, 1e-9)
+        if self._staleness_target is None:
+            self._calibration_staleness.append(staleness_s)
+            if len(self._calibration_staleness) >= cfg.calibration_windows:
+                ordered = sorted(self._calibration_staleness)
+                median = ordered[len(ordered) // 2]
+                self._staleness_target = cfg.target_factor * max(median, 1e-9)
+
+    def _check(self, objective: str, value: float, target: Optional[float],
+               breached: bool, index: int) -> Optional[dict]:
+        """Once-per-stretch breach bookkeeping; returns the breach record."""
+        if not breached:
+            self._breach_active[objective] = False
+            return None
+        self.breaches[objective] = self.breaches.get(objective, 0) + 1
+        if self._record_metrics():
+            self.registry.inc(
+                f"{self.prefix}.breaches", 1.0, objective=objective
+            )
+        record = {
+            "kind": "breach",
+            "schema": SLO_SCHEMA,
+            "ts": time.time(),
+            "window": index,
+            "objective": objective,
+            "value": float(value),
+            "target": None if target is None else float(target),
+        }
+        self._write(record)
+        if self._breach_active.get(objective):
+            return record  # still inside the same breach stretch
+        self._breach_active[objective] = True
+        monitor = self._alert_monitor()
+        if monitor is not None:
+            monitor.alert(
+                "slo_breach",
+                f"{objective} SLO breached at window {index}: "
+                f"{value:.4g} vs target {target:.4g}",
+                severity="critical" if objective == "accuracy" else "warning",
+                objective=objective,
+                window=index,
+                value=float(value),
+                target=float(target),
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    def observe_window(
+        self,
+        index: int,
+        latency_s: float,
+        staleness_s: float,
+        accuracy: float,
+        frames: int,
+        spikes_per_frame: Optional[float] = None,
+        burst: bool = False,
+        corrupted: bool = False,
+    ) -> dict:
+        """Feed one processed stream window; returns its JSONL record.
+
+        ``latency_s`` is the wall-clock cost of the window's forward
+        pass(es); ``staleness_s`` the age of the result relative to the
+        window's arrival; ``accuracy`` the window's top-1 fraction;
+        ``frames`` the number of samples the window carried.
+        """
+        cfg = self.config
+        self.windows_seen += 1
+        self.frames_seen += int(frames)
+        self._latency.observe(latency_s)
+        self._staleness.observe(staleness_s)
+        self._accuracy.observe(accuracy)
+        if spikes_per_frame is not None:
+            self._spikes_per_frame.observe(spikes_per_frame)
+        throughput = float(frames) / latency_s if latency_s > 0 else 0.0
+
+        if self._record_metrics():
+            reg = self.registry
+            reg.inc(f"{self.prefix}.windows")
+            reg.inc(f"{self.prefix}.frames", float(frames))
+            reg.observe_window(
+                f"{self.prefix}.window_latency_s", latency_s, cfg.window
+            )
+            reg.observe_window(
+                f"{self.prefix}.staleness_s", staleness_s, cfg.window
+            )
+            reg.observe_window(f"{self.prefix}.accuracy", accuracy, cfg.window)
+            reg.observe_window(
+                f"{self.prefix}.throughput_fps", throughput, cfg.window
+            )
+            if spikes_per_frame is not None:
+                reg.set_gauge(
+                    f"{self.prefix}.spikes_per_frame", spikes_per_frame
+                )
+        self._acc_window.observe(accuracy)
+        self._sliding_accuracy = self._acc_window.mean
+
+        calibrating = self.windows_seen <= cfg.calibration_windows
+        self._calibrate(latency_s, staleness_s)
+        breach_records = []
+        if not calibrating:
+            for objective, value, target in (
+                ("latency", latency_s, self._latency_target),
+                ("staleness", staleness_s, self._staleness_target),
+            ):
+                breached = target is not None and value > target
+                record = self._check(objective, value, target, breached, index)
+                if record is not None:
+                    breach_records.append(record)
+            sliding = self._sliding_accuracy
+            breached = sliding is not None and sliding < cfg.accuracy_floor
+            record = self._check(
+                "accuracy", sliding if sliding is not None else 0.0,
+                cfg.accuracy_floor, breached, index,
+            )
+            if record is not None:
+                breach_records.append(record)
+
+        record = {
+            "kind": "window",
+            "schema": SLO_SCHEMA,
+            "schema_version": SLO_SCHEMA_VERSION,
+            "ts": time.time(),
+            "window": index,
+            "frames": int(frames),
+            "latency_s": float(latency_s),
+            "staleness_s": float(staleness_s),
+            "accuracy": float(accuracy),
+            "sliding_accuracy": self._sliding_accuracy,
+            "throughput_fps": throughput,
+            "burst": bool(burst),
+            "corrupted": bool(corrupted),
+            "calibrating": calibrating,
+            "breaches": [r["objective"] for r in breach_records],
+        }
+        if spikes_per_frame is not None:
+            record["spikes_per_frame"] = float(spikes_per_frame)
+        self._write(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-ready lifetime summary (the canary gate's input)."""
+
+        def stats(hist: Histogram) -> Optional[dict]:
+            if not hist.count:
+                return None
+            return {
+                "count": hist.count,
+                "mean": hist.mean,
+                "min": hist.minimum,
+                "max": hist.maximum,
+                "p50": hist.percentile(50.0),
+                "p95": hist.percentile(95.0),
+                "p99": hist.percentile(99.0),
+            }
+
+        return {
+            "schema": SLO_SCHEMA,
+            "schema_version": SLO_SCHEMA_VERSION,
+            "windows": self.windows_seen,
+            "frames": self.frames_seen,
+            "targets": self.targets(),
+            "latency_s": stats(self._latency),
+            "staleness_s": stats(self._staleness),
+            "accuracy": stats(self._accuracy),
+            "spikes_per_frame": stats(self._spikes_per_frame),
+            "sliding_accuracy": self._sliding_accuracy,
+            "breaches": dict(self.breaches),
+            "breaches_total": sum(self.breaches.values()),
+        }
+
+    def close(self) -> Optional[str]:
+        """Write ``slo_summary.json`` (when a run dir exists) and close
+        the JSONL sink.  Returns the summary path, or ``None``."""
+        path = None
+        if self.run_dir is not None and self.windows_seen:
+            os.makedirs(self.run_dir, exist_ok=True)
+            path = os.path.join(self.run_dir, SLO_SUMMARY_FILENAME)
+            with open(path, "w", encoding="utf-8") as fp:
+                json.dump(self.summary(), fp, indent=2, sort_keys=True)
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+        if self._own_monitor is not None:
+            self._own_monitor.close()
+            self._own_monitor = None
+        return path
+
+    def __enter__(self) -> "SloTracker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

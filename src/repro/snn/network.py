@@ -395,6 +395,10 @@ class SpikingNetwork(SpikingModule):
         # Per-timestep observer (repro.obs.instruments.StepMonitor);
         # None keeps the temporal loop on its fast path.
         self._step_monitor = None
+        # Streaming hook: when True, ``forward`` skips the per-input
+        # ``reset_state()`` so membranes (and pooling counts) stay warm
+        # across consecutive windows.  Set via :meth:`streaming`.
+        self.carry_state = False
 
     # ------------------------------------------------------------------
     # Observability
@@ -445,8 +449,32 @@ class SpikingNetwork(SpikingModule):
         finally:
             self.mode = previous
 
-    def forward(self, images) -> Tensor:
+    @contextmanager
+    def streaming(self):
+        """Keep temporal state warm across forward calls.
+
+        Inside the block consecutive ``forward`` calls continue from the
+        previous window's membranes (and pooling counts) instead of
+        resetting — the network behaves as one endless unroll chunked
+        into windows, which is the semantics a streaming deployment
+        needs.  State is cleared on entry and on exit, so the block
+        starts cold and leaves no residue.  Both execution engines
+        honour the carried state (the fused scan warm-starts from the
+        carried membrane), and batch geometry must stay constant across
+        windows.
+        """
+        previous = self.carry_state
         self.reset_state()
+        self.carry_state = True
+        try:
+            yield self
+        finally:
+            self.carry_state = previous
+            self.reset_state()
+
+    def forward(self, images) -> Tensor:
+        if not self.carry_state:
+            self.reset_state()
         if self.resolved_mode() == "fused":
             return self._forward_fused(images)
         return self._forward_stepwise(images)

@@ -1,0 +1,47 @@
+"""Streaming inference: synthetic window streams, the warm-state
+serving runner, SLO tracking and the canary release gate.
+
+Quick start::
+
+    from repro.experiments import ExperimentConfig, SCALES, run_pipeline
+    from repro.stream import StreamConfig, SyntheticStream, run_stream
+
+    result = run_pipeline(ExperimentConfig("vgg11", "cifar10", scale=SCALES["tiny"]))
+    stream = SyntheticStream(result.context.dataset, StreamConfig(num_windows=16))
+    outcome = run_stream(result.snn, stream, normalize=result.context.normalize)
+
+or from the shell::
+
+    python -m repro.stream run --scale tiny --trace results/stream_1
+    python -m repro.stream canary results/stream_2 --baseline
+
+The stream generator (:class:`SyntheticStream`) is deterministic per
+``(seed, window index)``; the runner keeps membranes warm across
+windows (:meth:`repro.snn.SpikingNetwork.streaming`) and feeds a
+:class:`repro.obs.SloTracker`; the canary gate replays one recorded
+stream through candidate and baseline models and promotes or rolls
+back on the run-diff engine's verdict.
+"""
+
+from .canary import (
+    CanaryError,
+    CanaryResult,
+    load_stream_meta,
+    run_canary,
+    save_stream_bundle,
+)
+from .generator import StreamConfig, StreamWindow, SyntheticStream
+from .runner import StreamResult, run_stream
+
+__all__ = [
+    "CanaryError",
+    "CanaryResult",
+    "StreamConfig",
+    "StreamResult",
+    "StreamWindow",
+    "SyntheticStream",
+    "load_stream_meta",
+    "run_canary",
+    "run_stream",
+    "save_stream_bundle",
+]

@@ -1,0 +1,239 @@
+"""Command-line streaming runner and canary gate.
+
+::
+
+    python -m repro.stream run --scale tiny --trace results/stream_1 \
+        --windows 24 --burst-every 8 --tag-baseline
+    python -m repro.stream canary results/stream_2 --baseline
+    python -m repro.stream canary results/stream_2 --baseline results/stream_1
+
+``run`` trains/converts the model (cached across invocations in one
+process), replays a seeded synthetic stream through it with warm
+membrane state, and — when traced — leaves the SLO artefacts
+(``slo.jsonl`` / ``slo_summary.json``) plus the stream bundle
+(``model.npz`` / ``stream_meta.json``) the canary gate consumes.
+
+``canary`` exits 0 to promote and 1 to roll back (2 on usage errors),
+so it can gate CI/CD directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..experiments.config import ExperimentConfig, get_scale
+from ..obs import configure as obs_configure
+from ..obs import console
+from ..obs import shutdown as obs_shutdown
+from ..obs.slo import SLOConfig
+
+#: Sentinel for ``--baseline`` with no value: resolve the registry tag.
+_REGISTRY_BASELINE = "@registry"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream",
+        description="Streaming inference runner and canary release gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="serve a seeded synthetic stream")
+    run_p.add_argument("--arch", default="vgg11",
+                       choices=["vgg11", "vgg16", "resnet20"])
+    run_p.add_argument("--dataset", default="cifar10",
+                       choices=["cifar10", "cifar100"])
+    run_p.add_argument("--timesteps", type=int, default=2)
+    run_p.add_argument("--scale", default="tiny",
+                       choices=["tiny", "bench", "full"])
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--no-fine-tune", action="store_true",
+                       help="serve the converted SNN without fine-tuning")
+    stream_g = run_p.add_argument_group("stream schedule")
+    stream_g.add_argument("--windows", type=int, default=32,
+                          help="number of stream windows to serve")
+    stream_g.add_argument("--window-size", type=int, default=16,
+                          help="frames per window (sub-batch size)")
+    stream_g.add_argument("--stream-seed", type=int, default=0)
+    stream_g.add_argument("--drift-period", type=int, default=16)
+    stream_g.add_argument("--drift-strength", type=float, default=0.8)
+    stream_g.add_argument("--burst-every", type=int, default=0,
+                          help="every Nth window carries burst load "
+                               "(0 disables)")
+    stream_g.add_argument("--burst-factor", type=int, default=4)
+    stream_g.add_argument("--corrupt-every", type=int, default=0,
+                          help="every Nth window arrives corrupted "
+                               "(0 disables)")
+    stream_g.add_argument("--arrival-interval", type=float, default=0.05,
+                          help="seconds between window arrivals "
+                               "(simulated clock)")
+    slo_g = run_p.add_argument_group("service-level objectives")
+    slo_g.add_argument("--slo-window", type=int, default=32,
+                       help="sliding-window size (in stream windows)")
+    slo_g.add_argument("--latency-target", type=float, default=None,
+                       help="seconds; default auto-calibrates")
+    slo_g.add_argument("--staleness-target", type=float, default=None,
+                       help="seconds; default auto-calibrates")
+    slo_g.add_argument("--accuracy-floor", type=float, default=0.5)
+    slo_g.add_argument("--calibration-windows", type=int, default=8)
+    run_p.add_argument("--trace", metavar="RUN_DIR", default=None,
+                       help="enable observability; write SLO artefacts and "
+                            "the canary stream bundle into RUN_DIR")
+    run_p.add_argument("--tag-baseline", action="store_true",
+                       help="tag this observed run as the run registry's "
+                            "baseline (requires --trace)")
+    run_p.add_argument("--verbose", action="store_true",
+                       help="print one line per served window")
+
+    canary_p = sub.add_parser(
+        "canary",
+        help="replay a candidate's stream against a baseline; "
+             "exit 0 promote / 1 rollback",
+    )
+    canary_p.add_argument("candidate",
+                          help="candidate stream bundle: run directory or "
+                               "registry run id")
+    canary_p.add_argument("--baseline", nargs="?", const=_REGISTRY_BASELINE,
+                          default=_REGISTRY_BASELINE, metavar="REF",
+                          help="baseline bundle (run directory or registry "
+                               "run id); without a value, the registry's "
+                               "tagged baseline")
+    canary_p.add_argument("--out", default=None, metavar="DIR",
+                          help="replay output root "
+                               "(default: CANDIDATE/canary/)")
+    canary_p.add_argument("--rtol", type=float, default=None)
+    canary_p.add_argument("--atol", type=float, default=None)
+    canary_p.add_argument("--json", action="store_true",
+                          help="emit the canary verdict as JSON")
+    canary_p.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def _run_main(args, parser) -> int:
+    from ..experiments.pipeline import run_pipeline
+    from .canary import save_stream_bundle
+    from .generator import StreamConfig, SyntheticStream
+    from .runner import run_stream
+
+    if args.tag_baseline and not args.trace:
+        parser.error("--tag-baseline requires --trace RUN_DIR")
+    config = ExperimentConfig(
+        arch=args.arch,
+        dataset=args.dataset,
+        timesteps=args.timesteps,
+        scale=get_scale(args.scale),
+        seed=args.seed,
+    )
+    stream_config = StreamConfig(
+        window_size=args.window_size,
+        num_windows=args.windows,
+        seed=args.stream_seed,
+        drift_period=args.drift_period,
+        drift_strength=args.drift_strength,
+        burst_every=args.burst_every,
+        burst_factor=args.burst_factor,
+        corrupt_every=args.corrupt_every,
+        arrival_interval_s=args.arrival_interval,
+    )
+    slo_config = SLOConfig(
+        window=args.slo_window,
+        latency_target_s=args.latency_target,
+        staleness_target_s=args.staleness_target,
+        accuracy_floor=args.accuracy_floor,
+        calibration_windows=args.calibration_windows,
+    )
+
+    if args.trace:
+        obs_configure(
+            run_dir=args.trace,
+            kind="stream",
+            arch=args.arch,
+            dataset=args.dataset,
+            scale=args.scale,
+            seed=args.seed,
+            stream_seed=args.stream_seed,
+        )
+    status = "error"
+    try:
+        pipeline = run_pipeline(config, fine_tune=not args.no_fine_tune)
+        stream = SyntheticStream(pipeline.context.dataset, stream_config)
+        result = run_stream(
+            pipeline.snn,
+            stream,
+            normalize=pipeline.context.normalize,
+            slo_config=slo_config,
+            verbose=args.verbose,
+        )
+        if args.trace:
+            save_stream_bundle(
+                pipeline.snn, config, stream_config, args.trace,
+                slo_config=slo_config,
+            )
+        console(
+            f"served {result.windows} window(s) / {result.frames} frame(s): "
+            f"accuracy {result.accuracy:.4f}, "
+            f"{result.breaches_total} SLO breach window(s)"
+            + (
+                " (" + ", ".join(
+                    f"{k}: {v}" for k, v in sorted(result.breaches.items())
+                ) + ")"
+                if result.breaches else ""
+            )
+        )
+        status = "completed"
+        return 0
+    finally:
+        if args.trace:
+            if args.tag_baseline:
+                from ..experiments import pipeline as _pipeline
+
+                _pipeline._tag_run_as_baseline()
+            obs_shutdown(status=status)
+            console(f"stream run written to {args.trace}")
+
+
+def _canary_main(args) -> int:
+    import json as _json
+
+    from ..obs.diff import DEFAULT_ATOL, DEFAULT_RTOL
+    from .canary import CanaryError, run_canary
+
+    try:
+        result = run_canary(
+            args.candidate,
+            baseline_ref=(
+                None if args.baseline == _REGISTRY_BASELINE else args.baseline
+            ),
+            out_root=args.out,
+            rtol=DEFAULT_RTOL if args.rtol is None else args.rtol,
+            atol=DEFAULT_ATOL if args.atol is None else args.atol,
+            verbose=args.verbose,
+        )
+    except CanaryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(result.payload, indent=2, sort_keys=True))
+    else:
+        print(result.diff.render())
+        print()
+        print(
+            f"canary verdict: {result.verdict.upper()} "
+            f"(candidate accuracy {result.candidate_result.accuracy:.4f} "
+            f"vs baseline {result.baseline_result.accuracy:.4f})"
+        )
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _run_main(args, parser)
+    return _canary_main(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

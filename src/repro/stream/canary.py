@@ -1,0 +1,328 @@
+"""Canary release gate: replay one seeded stream through two models.
+
+A streaming run traced with ``python -m repro.stream run --trace DIR``
+leaves a *stream bundle* in its run directory: the served model's
+parameters (``model.npz``) plus ``stream_meta.json`` (the experiment
+config, the stream schedule and the SLO config, all JSON).  The canary
+gate (``python -m repro.stream canary CANDIDATE --baseline``) then:
+
+1. resolves the candidate and baseline bundles (a run directory path or
+   a run-registry id; ``--baseline`` without a value resolves the
+   registry's tagged baseline via
+   :meth:`repro.obs.registry.RunRegistry.require_baseline`);
+2. rebuilds both SNNs deterministically — the conversion skeleton from
+   the recorded experiment config, then the bundled parameters loaded
+   over it;
+3. replays the **candidate's** recorded stream (identical seeded
+   traffic, frame-for-frame) through each model into a fresh observed
+   run directory, with the latency / staleness targets pinned to
+   ``inf`` — wall-clock noise must never flap a release gate, so only
+   the deterministic objectives (sliding accuracy, breach counts,
+   spike traffic) are produced for gating;
+4. diffs the two replay directories with the direction-aware run-diff
+   engine (:func:`repro.obs.diff.diff_run_dirs`) and turns its verdict
+   into **promote** (exit 0) or **rollback** (exit 1), persisted as
+   ``canary.json`` in both the candidate replay and the candidate's
+   original run directory — :mod:`repro.obs.report` renders it as the
+   "Canary verdict" section.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..experiments.config import ExperimentConfig, ScalePreset
+from ..experiments.pipeline import convert_only
+from ..obs import observe
+from ..obs.diff import DEFAULT_ATOL, DEFAULT_RTOL, RunDiff, diff_run_dirs
+from ..obs.registry import BaselineError, RunRegistry
+from ..obs.slo import SLOConfig
+from ..utils.checkpoint import load_checkpoint, save_checkpoint
+from .generator import StreamConfig, SyntheticStream
+from .runner import StreamResult, run_stream
+
+CANARY_SCHEMA = "repro.obs.canary/v1"
+CANARY_SCHEMA_VERSION = 1
+CANARY_FILENAME = "canary.json"
+STREAM_META_SCHEMA = "repro.stream.meta/v1"
+STREAM_META_FILENAME = "stream_meta.json"
+MODEL_FILENAME = "model.npz"
+
+__all__ = [
+    "CANARY_FILENAME",
+    "CANARY_SCHEMA",
+    "CanaryError",
+    "CanaryResult",
+    "MODEL_FILENAME",
+    "STREAM_META_FILENAME",
+    "load_stream_meta",
+    "rebuild_model",
+    "run_canary",
+    "save_stream_bundle",
+]
+
+
+class CanaryError(RuntimeError):
+    """A canary replay could not be set up (bad refs, missing bundle)."""
+
+
+# ----------------------------------------------------------------------
+# Stream bundles
+# ----------------------------------------------------------------------
+def save_stream_bundle(
+    snn,
+    config: ExperimentConfig,
+    stream_config: StreamConfig,
+    run_dir: str,
+    slo_config: Optional[SLOConfig] = None,
+) -> str:
+    """Persist everything a canary replay needs into ``run_dir``.
+
+    Writes ``model.npz`` (the served parameters) and
+    ``stream_meta.json`` (experiment + stream + SLO config); returns the
+    meta path.
+    """
+    os.makedirs(run_dir, exist_ok=True)
+    save_checkpoint(snn, os.path.join(run_dir, MODEL_FILENAME))
+    meta = {
+        "schema": STREAM_META_SCHEMA,
+        "schema_version": 1,
+        "ts": time.time(),
+        "experiment": dataclasses.asdict(config),
+        "stream": stream_config.as_dict(),
+    }
+    if slo_config is not None:
+        meta["slo"] = {
+            "window": slo_config.window,
+            "accuracy_floor": slo_config.accuracy_floor,
+            "calibration_windows": slo_config.calibration_windows,
+        }
+    path = os.path.join(run_dir, STREAM_META_FILENAME)
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(meta, fp, indent=2, sort_keys=True)
+    return path
+
+
+def load_stream_meta(run_dir: str) -> dict:
+    """Read and validate a bundle's ``stream_meta.json``."""
+    path = os.path.join(run_dir, STREAM_META_FILENAME)
+    if not os.path.exists(path):
+        raise CanaryError(
+            f"'{run_dir}' holds no {STREAM_META_FILENAME} — not a stream "
+            "bundle (produce one with `python -m repro.stream run --trace "
+            f"{run_dir}`)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            meta = json.load(fp)
+    except (json.JSONDecodeError, OSError) as exc:
+        raise CanaryError(f"unreadable {path}: {exc}") from exc
+    if not isinstance(meta, dict) or "experiment" not in meta or "stream" not in meta:
+        raise CanaryError(f"{path} is not a {STREAM_META_SCHEMA} bundle")
+    return meta
+
+
+def experiment_config_from_meta(meta: dict) -> ExperimentConfig:
+    """Reconstruct the bundle's :class:`ExperimentConfig`."""
+    payload = dict(meta["experiment"])
+    scale = payload.pop("scale")
+    if isinstance(scale, dict):
+        scale = ScalePreset(**scale)
+    return ExperimentConfig(scale=scale, **payload)
+
+
+def rebuild_model(run_dir: str, meta: Optional[dict] = None) -> Tuple[object, object]:
+    """``(snn, context)`` of the bundle in ``run_dir``.
+
+    The conversion skeleton is rebuilt from the recorded experiment
+    config (module structure depends only on the config, not on
+    calibration values), then ``model.npz`` overwrites every parameter
+    — so the replayed network is parameter-identical to the one that
+    was served.
+    """
+    meta = meta if meta is not None else load_stream_meta(run_dir)
+    model_path = os.path.join(run_dir, MODEL_FILENAME)
+    if not os.path.exists(model_path):
+        raise CanaryError(
+            f"'{run_dir}' holds no {MODEL_FILENAME} — the stream bundle "
+            "is incomplete"
+        )
+    config = experiment_config_from_meta(meta)
+    conversion = convert_only(config)
+    snn = conversion.snn
+    load_checkpoint(snn, model_path, strict=True)
+    from ..experiments.context import get_context
+
+    return snn, get_context(config)
+
+
+def _resolve_ref(ref: str, registry: RunRegistry, role: str) -> str:
+    """A bundle ref (directory path or registry run id) to a directory."""
+    if os.path.isdir(ref):
+        return ref
+    entry = registry.get(ref)
+    if entry is None:
+        raise CanaryError(
+            f"{role} '{ref}' is neither a directory nor a registered run id"
+        )
+    run_dir = entry.get("run_dir")
+    if not run_dir or not os.path.isdir(run_dir):
+        raise CanaryError(
+            f"{role} run '{entry.get('run_id', ref)}' points at a missing "
+            f"directory ({run_dir}) — re-run it or pass a live bundle path"
+        )
+    return run_dir
+
+
+def _replay_slo_config(meta: dict) -> SLOConfig:
+    """The gating SLO config for replays: recorded accuracy objective,
+    wall-clock objectives disabled (``inf`` targets) so the verdict is a
+    pure function of models + seeded traffic."""
+    slo_meta = meta.get("slo") or {}
+    return SLOConfig(
+        window=int(slo_meta.get("window", 32)),
+        latency_target_s=math.inf,
+        staleness_target_s=math.inf,
+        accuracy_floor=float(slo_meta.get("accuracy_floor", 0.5)),
+        calibration_windows=int(slo_meta.get("calibration_windows", 8)),
+    )
+
+
+# ----------------------------------------------------------------------
+# The gate
+# ----------------------------------------------------------------------
+@dataclass
+class CanaryResult:
+    """Outcome of one canary comparison."""
+
+    verdict: str  # "promote" | "rollback"
+    diff: RunDiff
+    candidate_dir: str
+    baseline_dir: str
+    candidate_replay: str
+    baseline_replay: str
+    candidate_result: StreamResult
+    baseline_result: StreamResult
+    payload: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "promote"
+
+
+def run_canary(
+    candidate_ref: str,
+    baseline_ref: Optional[str] = None,
+    registry: Optional[RunRegistry] = None,
+    out_root: Optional[str] = None,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    verbose: bool = False,
+) -> CanaryResult:
+    """Replay the candidate's recorded stream through candidate and
+    baseline models and gate on the run diff.
+
+    ``baseline_ref=None`` resolves the run registry's tagged baseline
+    (raising :class:`CanaryError` with the registry's actionable message
+    when the tag is absent or dangling).  Replay run directories land
+    under ``out_root`` (default ``<candidate>/canary/``).
+    """
+    registry = registry if registry is not None else RunRegistry()
+    candidate_dir = _resolve_ref(candidate_ref, registry, "candidate")
+    if baseline_ref is None:
+        try:
+            entry = registry.require_baseline()
+        except BaselineError as exc:
+            raise CanaryError(str(exc)) from exc
+        baseline_dir = entry["run_dir"]
+    else:
+        baseline_dir = _resolve_ref(baseline_ref, registry, "baseline")
+
+    meta = load_stream_meta(candidate_dir)
+    baseline_meta = load_stream_meta(baseline_dir)
+    stream_config = StreamConfig.from_dict(meta["stream"])
+    replay_slo = _replay_slo_config(meta)
+
+    # Rebuild both models *before* opening any observed replay run so
+    # the (possibly cached) DNN training never pollutes replay metrics.
+    candidate_snn, candidate_ctx = rebuild_model(candidate_dir, meta)
+    baseline_snn, baseline_ctx = rebuild_model(baseline_dir, baseline_meta)
+
+    out_root = out_root or os.path.join(candidate_dir, "canary")
+    replays = {}
+    results = {}
+    for role, snn, context in (
+        ("baseline", baseline_snn, baseline_ctx),
+        ("candidate", candidate_snn, candidate_ctx),
+    ):
+        replay_dir = os.path.join(out_root, role)
+        # Both sides see the candidate's dataset prototypes: identical
+        # seeded traffic is the whole point of a canary replay.
+        stream = SyntheticStream(candidate_ctx.dataset, stream_config)
+        with observe(replay_dir, kind="canary_replay", role=role):
+            results[role] = run_stream(
+                snn,
+                stream,
+                normalize=context.normalize,
+                slo_config=replay_slo,
+                verbose=verbose,
+            )
+        replays[role] = replay_dir
+
+    diff = diff_run_dirs(
+        replays["baseline"], replays["candidate"], rtol=rtol, atol=atol
+    )
+    verdict = "promote" if diff.ok else "rollback"
+    payload = {
+        "schema": CANARY_SCHEMA,
+        "schema_version": CANARY_SCHEMA_VERSION,
+        "ts": time.time(),
+        "verdict": verdict,
+        "ok": diff.ok,
+        "rtol": rtol,
+        "atol": atol,
+        "stream": stream_config.as_dict(),
+        "candidate": {
+            "source": candidate_dir,
+            "replay_dir": replays["candidate"],
+            "accuracy": results["candidate"].accuracy,
+            "breaches": results["candidate"].breaches,
+        },
+        "baseline": {
+            "source": baseline_dir,
+            "replay_dir": replays["baseline"],
+            "accuracy": results["baseline"].accuracy,
+            "breaches": results["baseline"].breaches,
+        },
+        "regressions": [
+            {
+                "name": d.name,
+                "baseline": d.baseline,
+                "candidate": d.candidate,
+                "note": d.note,
+            }
+            for d in diff.regressions
+        ],
+    }
+    for directory in (replays["candidate"], candidate_dir):
+        with open(
+            os.path.join(directory, CANARY_FILENAME), "w", encoding="utf-8"
+        ) as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+    return CanaryResult(
+        verdict=verdict,
+        diff=diff,
+        candidate_dir=candidate_dir,
+        baseline_dir=baseline_dir,
+        candidate_replay=replays["candidate"],
+        baseline_replay=replays["baseline"],
+        candidate_result=results["candidate"],
+        baseline_result=results["baseline"],
+        payload=payload,
+    )

@@ -1,0 +1,200 @@
+"""Seedable synthetic stream: endless frame windows over SynthCIFAR.
+
+A *stream* chunks time into fixed-size windows of frames drawn from the
+same class prototypes the model was trained on
+(:class:`~repro.data.SyntheticImageDataset`), with the three
+non-stationarities a serving deployment must survive:
+
+- **drifting class mixture** — the label distribution of window ``w``
+  rotates sinusoidally through the classes (period / strength
+  configurable), so sliding-window accuracy genuinely moves over time;
+- **burst-load phases** — every ``burst_every``-th window arrives with
+  ``burst_factor`` times the frames, split into sub-batches of the
+  normal window size (batch geometry stays constant, which the warm
+  membrane carry requires) — the runner's wall-clock per window
+  multiplies accordingly, the deterministic latency-SLO stressor;
+- **corrupted frames** — every ``corrupt_every``-th window carries a
+  :class:`repro.faults.FaultSpec` transmission spec (spike/frame drop)
+  that the runner realises around that window's forward pass.
+
+Windows are pure functions of ``(stream seed, window index)`` — random
+access is deterministic, two streams with equal seeds are identical
+frame-for-frame, and a canary replay feeds candidate and baseline
+byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..data import SyntheticImageDataset
+from ..faults import FaultSpec, TransmissionFaults
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Shape and schedule of one synthetic stream.
+
+    ``num_windows`` bounds iteration (:meth:`SyntheticStream.__iter__`);
+    random access via :meth:`SyntheticStream.window` works for any
+    index, so the stream is conceptually endless.
+    """
+
+    window_size: int = 16
+    num_windows: int = 32
+    seed: int = 0
+    drift_period: int = 16
+    drift_strength: float = 0.8
+    burst_every: int = 0
+    burst_factor: int = 4
+    corrupt_every: int = 0
+    spike_drop_rate: float = 0.3
+    frame_drop_rate: float = 0.1
+    arrival_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0 or self.num_windows <= 0:
+            raise ValueError("window_size and num_windows must be positive")
+        if self.drift_period <= 0:
+            raise ValueError("drift_period must be positive")
+        if not 0.0 <= self.drift_strength < 1.0:
+            raise ValueError("drift_strength must lie in [0, 1)")
+        if self.burst_every < 0 or self.corrupt_every < 0:
+            raise ValueError("schedule periods must be non-negative")
+        if self.burst_every and self.burst_factor < 2:
+            raise ValueError("burst_factor must be at least 2")
+        if self.arrival_interval_s < 0:
+            raise ValueError("arrival_interval_s must be non-negative")
+
+    def as_dict(self) -> dict:
+        return {
+            "window_size": self.window_size,
+            "num_windows": self.num_windows,
+            "seed": self.seed,
+            "drift_period": self.drift_period,
+            "drift_strength": self.drift_strength,
+            "burst_every": self.burst_every,
+            "burst_factor": self.burst_factor,
+            "corrupt_every": self.corrupt_every,
+            "spike_drop_rate": self.spike_drop_rate,
+            "frame_drop_rate": self.frame_drop_rate,
+            "arrival_interval_s": self.arrival_interval_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamConfig":
+        return cls(**{k: payload[k] for k in cls.__dataclass_fields__ if k in payload})
+
+
+@dataclass
+class StreamWindow:
+    """One generated window of stream traffic.
+
+    ``chunks`` sub-batches of exactly ``window_size`` frames each
+    (``chunks > 1`` on burst windows); ``images`` is the concatenated
+    ``(chunks * window_size, C, H, W)`` batch in ``[0, 1]``,
+    un-normalised — the runner applies the model's training-time
+    ``Normalize``.
+    """
+
+    index: int
+    images: np.ndarray
+    labels: np.ndarray
+    chunks: int
+    arrival_s: float
+    burst: bool = False
+    corrupted: bool = False
+    fault_spec: Optional[FaultSpec] = None
+    mixture: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def frames(self) -> int:
+        return int(self.labels.size)
+
+
+class SyntheticStream:
+    """Deterministic window stream over a dataset's class prototypes.
+
+    The dataset supplies the class-specific Fourier prototypes (and the
+    rendering geometry), so stream frames are in-distribution for a
+    model trained on that dataset; the stream config supplies the
+    schedule (drift / bursts / corruption) and its own seed.
+    """
+
+    def __init__(
+        self, dataset: SyntheticImageDataset, config: Optional[StreamConfig] = None
+    ) -> None:
+        self.dataset = dataset
+        self.config = config if config is not None else StreamConfig()
+
+    # ------------------------------------------------------------------
+    def mixture(self, index: int) -> np.ndarray:
+        """Class-mixture weights of window ``index`` (sums to one)."""
+        cfg = self.config
+        classes = self.dataset.num_classes
+        phases = index / cfg.drift_period + np.arange(classes) / classes
+        weights = 1.0 + cfg.drift_strength * np.sin(2 * np.pi * phases)
+        weights = np.maximum(weights, 1e-6)
+        return weights / weights.sum()
+
+    def is_burst(self, index: int) -> bool:
+        cfg = self.config
+        return bool(cfg.burst_every) and index > 0 and index % cfg.burst_every == 0
+
+    def is_corrupted(self, index: int) -> bool:
+        cfg = self.config
+        return (
+            bool(cfg.corrupt_every) and index > 0 and index % cfg.corrupt_every == 0
+        )
+
+    def window(self, index: int) -> StreamWindow:
+        """Render window ``index`` (deterministic random access)."""
+        if index < 0:
+            raise ValueError("window index must be non-negative")
+        cfg = self.config
+        data_cfg = self.dataset.config
+        rng = np.random.default_rng([cfg.seed, index])
+        burst = self.is_burst(index)
+        chunks = cfg.burst_factor if burst else 1
+        count = chunks * cfg.window_size
+        mixture = self.mixture(index)
+        labels = rng.choice(self.dataset.num_classes, size=count, p=mixture)
+        phase_jitter = rng.normal(
+            0.0, data_cfg.jitter_std, size=(count, data_cfg.components)
+        )
+        gains = rng.uniform(0.7, 1.3, size=count)
+        shifts = rng.uniform(-0.15, 0.15, size=(count, 2))
+        images = self.dataset._render(labels, phase_jitter, gains, shifts)
+        images += rng.normal(0.0, data_cfg.noise_std, size=images.shape)
+        np.clip(images, 0.0, 1.0, out=images)
+        corrupted = self.is_corrupted(index)
+        fault_spec = None
+        if corrupted:
+            fault_spec = FaultSpec(
+                transmission=TransmissionFaults(
+                    spike_drop_rate=cfg.spike_drop_rate,
+                    frame_drop_rate=cfg.frame_drop_rate,
+                ),
+                seed=cfg.seed * 100_003 + index,
+            )
+        return StreamWindow(
+            index=index,
+            images=images.astype(np.float64),
+            labels=labels.astype(np.int64),
+            chunks=chunks,
+            arrival_s=index * cfg.arrival_interval_s,
+            burst=burst,
+            corrupted=corrupted,
+            fault_spec=fault_spec,
+            mixture=mixture,
+        )
+
+    def __iter__(self) -> Iterator[StreamWindow]:
+        for index in range(self.config.num_windows):
+            yield self.window(index)
+
+    def __len__(self) -> int:
+        return self.config.num_windows

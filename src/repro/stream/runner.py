@@ -1,0 +1,180 @@
+"""Streaming runner: drive a SpikingNetwork window-by-window.
+
+The runner is the serving loop the paper's ultra-low-latency argument
+implies: windows arrive on a simulated clock, each is pushed through
+the fused engine with membranes kept **warm** across windows
+(:meth:`SpikingNetwork.streaming` — the network behaves as one endless
+unroll chunked into windows), and every window yields the three
+operational measurements the SLO layer gates on:
+
+- **latency** — wall-clock of the window's forward pass(es);
+- **staleness** — age of the result relative to the window's arrival
+  on the simulated clock (service is serial, so queueing delay from a
+  slow window propagates to its successors — exactly how a burst turns
+  into a staleness violation);
+- **accuracy** — the window's top-1 fraction, fed into the sliding
+  accuracy objective.
+
+Corrupted windows realise their :class:`~repro.faults.FaultSpec`
+around the forward pass via :func:`repro.faults.inject_faults`
+(transmission faults degrade the affected neurons to stepwise for that
+window; the network is restored bit-for-bit after, membranes carry
+through untouched).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..faults import FaultTelemetry
+from ..obs.slo import SLOConfig, SloTracker
+from ..tensor import no_grad
+from .generator import SyntheticStream
+
+__all__ = ["StreamResult", "run_stream"]
+
+
+@dataclass
+class StreamResult:
+    """Outcome of one streaming run."""
+
+    windows: int
+    frames: int
+    accuracy: float
+    breaches: dict
+    summary: dict
+    records: List[dict]
+
+    @property
+    def breaches_total(self) -> int:
+        return sum(self.breaches.values())
+
+
+def run_stream(
+    snn,
+    stream: SyntheticStream,
+    normalize=None,
+    slo_config: Optional[SLOConfig] = None,
+    tracker: Optional[SloTracker] = None,
+    telemetry: Optional[FaultTelemetry] = None,
+    verbose: bool = False,
+) -> StreamResult:
+    """Run ``stream`` through ``snn``; returns the aggregated result.
+
+    ``normalize`` is the model's training-time transform (stream frames
+    are raw ``[0, 1]``); ``tracker`` defaults to a fresh
+    :class:`SloTracker` bound to the active observed run, which is
+    closed (``slo_summary.json`` written) before returning — pass an
+    explicit tracker to keep it open across several streams.
+    """
+    own_tracker = tracker is None
+    if tracker is None:
+        tracker = SloTracker(config=slo_config)
+    own_telemetry = telemetry is None
+    if telemetry is None and any(
+        stream.is_corrupted(i) for i in range(stream.config.num_windows)
+    ):
+        telemetry = FaultTelemetry()
+
+    was_training = snn.training
+    snn.eval()
+    recording_before = [n.recording for n in snn.spiking_neurons()]
+    snn.set_recording(True)
+    window_size = stream.config.window_size
+    records: List[dict] = []
+    correct = total = 0
+    clock = 0.0  # simulated serial service clock
+    try:
+        with no_grad(), snn.streaming():
+            for window in stream:
+                snn.reset_spike_stats()
+                window_correct = 0
+                started = time.perf_counter()
+                if window.fault_spec is not None:
+                    with snn.inject_faults(window.fault_spec, telemetry=telemetry):
+                        window_correct = _forward_chunks(
+                            snn, window, window_size, normalize
+                        )
+                else:
+                    window_correct = _forward_chunks(
+                        snn, window, window_size, normalize
+                    )
+                latency_s = time.perf_counter() - started
+                frames = window.frames
+                accuracy = window_correct / frames
+                correct += window_correct
+                total += frames
+                spikes_per_frame = (
+                    snn.total_spikes() / frames if frames else 0.0
+                )
+                # Serial service: a window starts when it has arrived
+                # AND the previous one finished; its result is stale by
+                # (finish - arrival).
+                start_s = max(clock, window.arrival_s)
+                clock = start_s + latency_s
+                staleness_s = clock - window.arrival_s
+                record = tracker.observe_window(
+                    index=window.index,
+                    latency_s=latency_s,
+                    staleness_s=staleness_s,
+                    accuracy=accuracy,
+                    frames=frames,
+                    spikes_per_frame=spikes_per_frame,
+                    burst=window.burst,
+                    corrupted=window.corrupted,
+                )
+                records.append(record)
+                if verbose:
+                    flags = "".join(
+                        flag
+                        for flag, on in (("B", window.burst), ("C", window.corrupted))
+                        if on
+                    )
+                    print(
+                        f"window {window.index:>4} {flags:<2} "
+                        f"lat={latency_s * 1e3:7.1f}ms "
+                        f"stale={staleness_s * 1e3:7.1f}ms "
+                        f"acc={accuracy:.3f}"
+                        + (
+                            f" breach={','.join(record['breaches'])}"
+                            if record["breaches"]
+                            else ""
+                        )
+                    )
+    finally:
+        snn.train(was_training)
+        for neuron, previous in zip(snn.spiking_neurons(), recording_before):
+            neuron.recording = previous
+        if own_telemetry and telemetry is not None:
+            telemetry.close()
+        summary = tracker.summary()
+        if own_tracker:
+            tracker.close()
+    return StreamResult(
+        windows=summary["windows"],
+        frames=summary["frames"],
+        accuracy=correct / total if total else 0.0,
+        breaches=dict(summary["breaches"]),
+        summary=summary,
+        records=records,
+    )
+
+
+def _forward_chunks(snn, window, window_size: int, normalize) -> int:
+    """Push the window's sub-batches through the network; returns the
+    number of correct top-1 predictions."""
+    correct = 0
+    for chunk in range(window.chunks):
+        rows = slice(chunk * window_size, (chunk + 1) * window_size)
+        batch = window.images[rows]
+        if normalize is not None:
+            batch = normalize(batch)
+        logits = snn(batch)
+        correct += int(
+            (logits.data.argmax(axis=1) == window.labels[rows]).sum()
+        )
+    return correct

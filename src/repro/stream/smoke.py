@@ -1,0 +1,248 @@
+"""Streaming + canary smoke run (``make stream-smoke``).
+
+Serves a short seeded synthetic stream through a micro SNN under an
+observed run and asserts the whole SLO/canary surface end to end:
+
+- the run directory carries schema-valid ``slo.jsonl`` /
+  ``slo_summary.json`` and the run registry inventories both;
+- the injected burst windows raise a latency SLO breach that is
+  visible in the ``slo_breach`` alert stream, in ``dashboard --once``
+  and in the rendered report;
+- a **self-canary** (identical-seed candidate vs. the tagged baseline
+  serving the same parameters) exits 0 — the gate never flaps on
+  wall-clock noise;
+- a **degraded candidate** (half the weights pruned) exits 1 through
+  the direction-aware diff engine.
+
+The registry root is redirected to a smoke-private directory so the
+baseline tag this smoke plants never clobbers the repo-level registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import shutil
+
+import numpy as np
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stream.smoke",
+        description="Streaming SLO + canary gate smoke run.",
+    )
+    parser.add_argument("--root", default=os.path.join("results", "smoke_stream"))
+    parser.add_argument("--report", action="store_true",
+                        help="print the baseline run's rendered report")
+    args = parser.parse_args(argv)
+
+    from ..obs.registry import ENV_ROOT_VAR
+
+    root = args.root
+    shutil.rmtree(root, ignore_errors=True)
+    os.makedirs(root, exist_ok=True)
+    # Smoke-private registry: the baseline tag below must not overwrite
+    # whatever the user has tagged in the repo-level runs/ registry.
+    previous_root = os.environ.get(ENV_ROOT_VAR)
+    os.environ[ENV_ROOT_VAR] = os.path.join(root, "runs")
+    try:
+        return _run(args, root, parser)
+    finally:
+        if previous_root is None:
+            os.environ.pop(ENV_ROOT_VAR, None)
+        else:
+            os.environ[ENV_ROOT_VAR] = previous_root
+
+
+def _run(args, root: str, parser) -> int:
+    from dataclasses import replace
+
+    from ..experiments.config import SCALES, ExperimentConfig
+    from ..experiments.pipeline import run_pipeline
+    from ..obs import SLOConfig, load_run, observe, render_report, state
+    from ..obs.dashboard import main as dashboard_main
+    from ..obs.registry import RunRegistry, registration_enabled
+    from ..obs.slo import SLO_FILENAME, SLO_SCHEMA, SLO_SUMMARY_FILENAME
+    from .__main__ import main as stream_main
+    from .canary import MODEL_FILENAME, STREAM_META_FILENAME, save_stream_bundle
+    from .generator import StreamConfig, SyntheticStream
+    from .runner import run_stream
+
+    scale = replace(
+        SCALES["tiny"],
+        name="smoke",
+        image_size=8,
+        train_size=60,
+        test_size=30,
+        width_multiplier=0.125,
+        batch_size=30,
+        dnn_epochs=2,
+        snn_epochs=1,
+        calibration_batches=1,
+    )
+    config = ExperimentConfig(
+        arch="vgg11", dataset="cifar10", timesteps=2, scale=scale
+    )
+    # Bursts multiply a window's wall-clock ~6x against a 3x-median
+    # target, so the latency breach fires deterministically; the
+    # accuracy floor is 0 because this micro model's accuracy is not
+    # the objective under test here (the canary gates on it instead).
+    stream_config = StreamConfig(
+        window_size=8, num_windows=16, seed=7,
+        burst_every=5, burst_factor=6, corrupt_every=7,
+    )
+    slo_config = SLOConfig(window=8, accuracy_floor=0.0, calibration_windows=4)
+
+    baseline_dir = os.path.join(root, "baseline")
+    candidate_dir = os.path.join(root, "candidate")
+    run_ids = []
+    for run_dir in (baseline_dir, candidate_dir):
+        with observe(run_dir, kind="stream", smoke=True):
+            run_ids.append(state().run_id)
+            pipeline = run_pipeline(config, fine_tune=False)
+            stream = SyntheticStream(pipeline.context.dataset, stream_config)
+            result = run_stream(
+                pipeline.snn, stream,
+                normalize=pipeline.context.normalize,
+                slo_config=slo_config,
+            )
+            save_stream_bundle(
+                pipeline.snn, config, stream_config, run_dir,
+                slo_config=slo_config,
+            )
+
+    # --- SLO artefacts: present, schema-valid, breach recorded --------
+    slo_path = os.path.join(baseline_dir, SLO_FILENAME)
+    if not os.path.exists(slo_path) or os.path.getsize(slo_path) == 0:
+        print(f"SMOKE FAILED: empty or missing {slo_path}")
+        return 1
+    with open(slo_path, "r", encoding="utf-8") as fp:
+        records = [json.loads(line) for line in fp if line.strip()]
+    bad = [r for r in records
+           if r.get("schema") != SLO_SCHEMA
+           or r.get("kind") not in ("window", "breach")]
+    if bad:
+        print(f"SMOKE FAILED: {len(bad)} slo.jsonl record(s) off-schema")
+        return 1
+    windows = [r for r in records if r["kind"] == "window"]
+    if len(windows) != stream_config.num_windows:
+        print(f"SMOKE FAILED: expected {stream_config.num_windows} window "
+              f"records, got {len(windows)}")
+        return 1
+    with open(os.path.join(baseline_dir, SLO_SUMMARY_FILENAME),
+              encoding="utf-8") as fp:
+        summary = json.load(fp)
+    if summary.get("schema") != SLO_SCHEMA:
+        print(f"SMOKE FAILED: slo_summary schema is {summary.get('schema')!r}")
+        return 1
+    if not summary.get("breaches", {}).get("latency"):
+        print("SMOKE FAILED: burst windows raised no latency SLO breach "
+              f"(breaches: {summary.get('breaches')})")
+        return 1
+
+    # --- breach alert went through the health/alerts path -------------
+    alerts_path = os.path.join(baseline_dir, "alerts.jsonl")
+    slo_alerts = []
+    if os.path.exists(alerts_path):
+        with open(alerts_path, "r", encoding="utf-8") as fp:
+            slo_alerts = [
+                json.loads(line) for line in fp
+                if line.strip() and '"slo_breach"' in line
+            ]
+    if not slo_alerts:
+        print("SMOKE FAILED: no slo_breach alert in alerts.jsonl")
+        return 1
+
+    # --- registry inventories the SLO artefacts -----------------------
+    if registration_enabled():
+        registry = RunRegistry()
+        for run_id in run_ids:
+            entry = registry.get(run_id)
+            if entry is None or entry.get("status") != "completed":
+                print(f"SMOKE FAILED: run {run_id} not completed in registry")
+                return 1
+            artifacts = entry.get("artifacts") or {}
+            for name in (SLO_FILENAME, SLO_SUMMARY_FILENAME,
+                         MODEL_FILENAME, STREAM_META_FILENAME):
+                if name not in artifacts:
+                    print(f"SMOKE FAILED: registry inventory of {run_id} "
+                          f"is missing {name!r}")
+                    return 1
+        registry.set_baseline(run_ids[0])
+
+    # --- dashboard --once and the report surface the breach -----------
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = dashboard_main([baseline_dir, "--once"])
+    frame = buffer.getvalue()
+    if code != 0:
+        print(f"SMOKE FAILED: dashboard --once exited {code}")
+        return 1
+    for needle in ("latency:BREACH", "breach log", "slo_breach"):
+        if needle not in frame:
+            print(f"SMOKE FAILED: dashboard --once frame lacks {needle!r}")
+            return 1
+    report = render_report(load_run(baseline_dir))
+    for needle in ("## Streaming SLO", "Breach log", "slo_breach"):
+        if needle not in report:
+            print(f"SMOKE FAILED: report lacks {needle!r}")
+            return 1
+
+    # --- self-canary: identical parameters must promote ---------------
+    code = stream_main(["canary", candidate_dir, "--baseline",
+                        "--out", os.path.join(root, "canary_self")])
+    if code != 0:
+        print(f"SMOKE FAILED: identical-seed self-canary exited {code}, "
+              "expected 0 (promote)")
+        return 1
+    with open(os.path.join(candidate_dir, "canary.json"),
+              encoding="utf-8") as fp:
+        verdict = json.load(fp)
+    if verdict.get("verdict") != "promote":
+        print(f"SMOKE FAILED: self-canary verdict is "
+              f"{verdict.get('verdict')!r}")
+        return 1
+
+    # --- degraded candidate: pruned weights must roll back ------------
+    degraded_dir = os.path.join(root, "degraded")
+    os.makedirs(degraded_dir, exist_ok=True)
+    shutil.copy(os.path.join(candidate_dir, STREAM_META_FILENAME),
+                os.path.join(degraded_dir, STREAM_META_FILENAME))
+    with np.load(os.path.join(candidate_dir, MODEL_FILENAME)) as archive:
+        payload = {key: archive[key].copy() for key in archive.files}
+    rng = np.random.default_rng(0)
+    for key, value in payload.items():
+        if not key.startswith("__meta__") and value.ndim >= 2:
+            value *= rng.random(value.shape) > 0.5
+    np.savez(os.path.join(degraded_dir, MODEL_FILENAME), **payload)
+    code = stream_main(["canary", degraded_dir, "--baseline",
+                        "--out", os.path.join(root, "canary_degraded")])
+    if code != 1:
+        print(f"SMOKE FAILED: degraded-candidate canary exited {code}, "
+              "expected 1 (rollback)")
+        return 1
+    report = render_report(load_run(os.path.join(root, "canary_degraded",
+                                                 "candidate")))
+    if "Canary verdict" not in report or "ROLLBACK" not in report:
+        print("SMOKE FAILED: rollback replay report lacks the canary "
+              "verdict section")
+        return 1
+
+    if args.report:
+        print(render_report(load_run(baseline_dir)))
+    print(
+        f"stream smoke ok: {len(windows)} windows served, "
+        f"breaches {dict(sorted(summary['breaches'].items()))}, "
+        f"{len(slo_alerts)} slo_breach alert(s), "
+        "self-canary promoted, degraded canary rolled back "
+        f"(artefacts: {root})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -175,11 +175,14 @@ class TestRegistry:
             registry.register_end(f"run-{name}", str(dirs[name]))
         registry.set_baseline("run-one")
 
-        # Missing directory => entry dropped (baseline survives even if
-        # its directory vanished).
+        # Missing directory => entry dropped (the baseline's directory
+        # is intact here, so its tag survives).
         dirs["two"].rmdir()
         summary = registry.gc()
-        assert summary == {"kept": 2, "dropped": 1, "dirs_deleted": 0}
+        assert summary == {
+            "kept": 2, "dropped": 1, "dirs_deleted": 0,
+            "baseline_cleared": False,
+        }
         assert registry.get("run-two") is None
 
         # keep=1 prunes newest-last but never the baseline.

@@ -1,0 +1,611 @@
+"""Streaming stack: generator determinism, warm membrane carry, sliding
+SLO aggregation, breach alerting, diff gating, dangling-baseline repair,
+report/dashboard degradation and the canary verdict."""
+
+import contextlib
+import io
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data.synthetic import SyntheticImageConfig, SyntheticImageDataset
+from repro.nn import Flatten, Linear
+from repro.obs import health as obs_health
+from repro.obs import trace
+from repro.obs.__main__ import main as obs_main
+from repro.obs.dashboard import main as dashboard_main
+from repro.obs.diff import diff_run_dirs, metric_direction
+from repro.obs.metrics import DEFAULT_WINDOW_SIZE, MetricsRegistry, SlidingWindow
+from repro.obs.registry import BaselineError, RunRegistry
+from repro.obs.report import load_run, render_report
+from repro.obs.slo import SLO_FILENAME, SLO_SCHEMA, SLOConfig, SloTracker
+from repro.snn import (
+    SpikingNetwork,
+    SpikingNeuron,
+    SpikingSequential,
+    StepWrapper,
+)
+from repro.snn import network as snn_network
+from repro.stream import StreamConfig, SyntheticStream, run_stream
+from repro.tensor import Tensor, no_grad
+from repro.tensor import tensor as tensor_mod
+
+
+def _reset_obs():
+    obs.shutdown()
+    obs.reset_registry()
+    obs_health.uninstall()
+    trace.reset()
+    obs.state().events.clear()
+    obs.state().spans.clear()
+    snn_network.set_layer_probe(None)
+    for observer in list(tensor_mod._OP_OBSERVERS):
+        tensor_mod.remove_op_observer(observer)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    _reset_obs()
+    yield
+    _reset_obs()
+
+
+@pytest.fixture
+def registry_root(tmp_path, monkeypatch):
+    root = tmp_path / "registry"
+    monkeypatch.setenv("REPRO_RUNS_ROOT", str(root))
+    return str(root)
+
+
+def tiny_dataset(num_classes=4):
+    return SyntheticImageDataset(SyntheticImageConfig(
+        num_classes=num_classes, image_size=6, channels=1,
+        train_size=8, test_size=4, components=3,
+    ))
+
+
+def tiny_snn(input_features=36, num_classes=4, timesteps=2, seed=0):
+    rng = np.random.default_rng(seed)
+    body = SpikingSequential(
+        StepWrapper(Flatten()),
+        StepWrapper(Linear(input_features, 10, rng=rng)),
+        SpikingNeuron(v_threshold=0.5, trainable=False),
+        StepWrapper(Linear(10, num_classes, rng=rng)),
+        SpikingNeuron(v_threshold=0.5, trainable=False),
+    )
+    return SpikingNetwork(body, timesteps=timesteps)
+
+
+# ----------------------------------------------------------------------
+# Stream generator
+# ----------------------------------------------------------------------
+class TestSyntheticStream:
+    def test_deterministic_per_seed_and_random_access(self):
+        dataset = tiny_dataset()
+        config = StreamConfig(window_size=4, num_windows=6, seed=11,
+                              burst_every=3, corrupt_every=5)
+        a = SyntheticStream(dataset, config)
+        b = SyntheticStream(dataset, config)
+        for wa, wb in zip(a, b):
+            np.testing.assert_array_equal(wa.images, wb.images)
+            np.testing.assert_array_equal(wa.labels, wb.labels)
+        # Random access reproduces iteration exactly.
+        w3 = a.window(3)
+        it3 = list(a)[3]
+        np.testing.assert_array_equal(w3.images, it3.images)
+        # A different stream seed yields different traffic.
+        other = SyntheticStream(dataset, StreamConfig(
+            window_size=4, num_windows=6, seed=12,
+            burst_every=3, corrupt_every=5,
+        ))
+        assert not np.array_equal(other.window(1).images, a.window(1).images)
+
+    def test_burst_and_corruption_schedule(self):
+        dataset = tiny_dataset()
+        stream = SyntheticStream(dataset, StreamConfig(
+            window_size=4, num_windows=7, burst_every=3, burst_factor=3,
+            corrupt_every=2, arrival_interval_s=0.5,
+        ))
+        windows = list(stream)
+        assert [w.burst for w in windows] == [
+            False, False, False, True, False, False, True
+        ]
+        assert [w.corrupted for w in windows] == [
+            False, False, True, False, True, False, True
+        ]
+        assert windows[3].frames == 12 and windows[3].chunks == 3
+        assert windows[1].frames == 4
+        assert windows[4].fault_spec is not None
+        assert windows[1].fault_spec is None
+        assert windows[2].arrival_s == pytest.approx(1.0)
+
+    def test_mixture_drifts_and_normalises(self):
+        dataset = tiny_dataset()
+        stream = SyntheticStream(dataset, StreamConfig(
+            window_size=4, num_windows=4, drift_period=8, drift_strength=0.9,
+        ))
+        m0, m4 = stream.mixture(0), stream.mixture(4)
+        assert m0.sum() == pytest.approx(1.0)
+        assert m4.sum() == pytest.approx(1.0)
+        assert not np.allclose(m0, m4)
+
+    def test_config_roundtrip_and_validation(self):
+        config = StreamConfig(window_size=2, num_windows=3, burst_every=2)
+        assert StreamConfig.from_dict(config.as_dict()) == config
+        with pytest.raises(ValueError):
+            StreamConfig(window_size=0)
+        with pytest.raises(ValueError):
+            StreamConfig(burst_every=2, burst_factor=1)
+
+
+# ----------------------------------------------------------------------
+# Warm membrane carry
+# ----------------------------------------------------------------------
+class TestStreamingState:
+    def test_fused_scan_warm_starts_from_carried_membrane(self):
+        rng = np.random.default_rng(0)
+        # T=2 folded batch of N=4 rows; currents below threshold so the
+        # carried residual decides whether the second window fires.
+        current = Tensor(rng.uniform(0.4, 0.9, size=(8, 3)))
+        neuron = SpikingNeuron(v_threshold=1.0, trainable=False)
+        with no_grad():
+            cold = neuron.forward_fused(current, 2)
+            assert neuron.membrane is not None
+            warm = neuron.forward_fused(current, 2)  # warm-started
+            neuron.reset_state()
+            cold_again = neuron.forward_fused(current, 2)
+        assert not np.array_equal(cold.data, warm.data)
+        np.testing.assert_array_equal(cold.data, cold_again.data)
+        # Carried membrane with the wrong batch geometry is an error.
+        neuron.membrane = Tensor(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            with no_grad():
+                neuron.forward_fused(current, 2)
+
+    def test_streaming_context_carries_then_restores(self):
+        snn = tiny_snn()
+        snn.eval()
+        rng = np.random.default_rng(1)
+        x1 = rng.random((3, 1, 6, 6))
+        x2 = rng.random((3, 1, 6, 6))
+        with no_grad():
+            cold = snn(x2).data
+            assert snn.carry_state is False
+            with snn.streaming():
+                assert snn.carry_state is True
+                snn(x1)
+                carried = [n.membrane is not None
+                           for n in snn.spiking_neurons()]
+                assert all(carried)
+                warm = snn(x2).data
+            assert snn.carry_state is False
+            assert all(n.membrane is None for n in snn.spiking_neurons())
+            assert np.array_equal(snn(x2).data, cold)
+        assert not np.array_equal(warm, cold)
+
+    def test_fused_and_stepwise_streaming_agree(self):
+        rng = np.random.default_rng(2)
+        windows = [rng.random((3, 1, 6, 6)) for _ in range(3)]
+        outputs = {}
+        for mode in ("fused", "stepwise"):
+            snn = tiny_snn()
+            snn.mode = mode
+            snn.eval()
+            with no_grad(), snn.streaming():
+                outputs[mode] = [snn(x).data for x in windows]
+        for got_fused, got_stepwise in zip(outputs["fused"],
+                                           outputs["stepwise"]):
+            np.testing.assert_allclose(got_fused, got_stepwise, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Sliding-window metrics
+# ----------------------------------------------------------------------
+class TestSlidingWindow:
+    def test_eviction_and_percentiles(self):
+        window = SlidingWindow(size=4)
+        with pytest.raises(ValueError):
+            window.percentile(50.0)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            window.observe(value)
+        assert window.count == 4
+        assert window.total_count == 6
+        assert list(window.samples) == [3.0, 4.0, 5.0, 6.0]
+        assert window.mean == pytest.approx(4.5)
+        assert window.percentile(0.0) == 3.0
+        assert window.percentile(100.0) == 6.0
+        assert window.percentile(50.0) == pytest.approx(4.5)
+
+    def test_registry_windows_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe_window("slo.latency", 0.1, size=8)
+        registry.observe_window("slo.latency", 0.3, size=8)
+        snap = registry.snapshot()
+        payload = snap["windows"]["slo.latency"]
+        assert payload["count"] == 2
+        assert payload["size"] == 8
+        assert payload["mean"] == pytest.approx(0.2)
+        assert payload["p50"] == pytest.approx(0.2)
+        # Same key reuses the window regardless of requested size.
+        assert registry.window("slo.latency", size=99).size == 8
+        registry.reset()
+        assert registry.snapshot()["windows"] == {}
+        assert DEFAULT_WINDOW_SIZE > 0
+
+
+# ----------------------------------------------------------------------
+# SLO tracker
+# ----------------------------------------------------------------------
+class _CountingMonitor:
+    def __init__(self):
+        self.alerts = []
+
+    def alert(self, rule, message, severity="warning", **fields):
+        self.alerts.append((rule, severity, fields))
+
+
+class TestSloTracker:
+    def _tracker(self, tmp_path=None, **overrides):
+        defaults = dict(window=4, latency_target_s=0.1, staleness_target_s=0.2,
+                        accuracy_floor=0.5, calibration_windows=1)
+        defaults.update(overrides)
+        monitor = _CountingMonitor()
+        tracker = SloTracker(
+            config=SLOConfig(**defaults),
+            registry=MetricsRegistry(),
+            run_dir=str(tmp_path) if tmp_path is not None else None,
+            monitor=monitor,
+        )
+        return tracker, monitor
+
+    def _feed(self, tracker, latencies, accuracy=1.0):
+        for index, latency in enumerate(latencies):
+            tracker.observe_window(
+                index=index, latency_s=latency, staleness_s=latency,
+                accuracy=accuracy, frames=4, spikes_per_frame=1.0,
+            )
+
+    def test_breach_alert_rearms_once_per_stretch(self, tmp_path):
+        tracker, monitor = self._tracker(tmp_path)
+        self._feed(tracker, [0.01, 0.5, 0.6, 0.01, 0.5])
+        # Windows 1, 2 and 4 breach latency; only stretch starts alert.
+        assert tracker.breaches["latency"] == 3
+        latency_alerts = [a for a in monitor.alerts
+                          if a[2]["objective"] == "latency"]
+        assert len(latency_alerts) == 2
+        records = [r for r in tracker.records if r["kind"] == "breach"]
+        assert len([r for r in records if r["objective"] == "latency"]) == 3
+        assert all(r["schema"] == SLO_SCHEMA for r in tracker.records)
+        path = tmp_path / SLO_FILENAME
+        lines = [json.loads(line) for line in
+                 path.read_text().strip().splitlines()]
+        assert len(lines) == len(tracker.records)
+
+    def test_accuracy_gates_on_sliding_window(self, tmp_path):
+        tracker, monitor = self._tracker(tmp_path, window=2)
+        for index, accuracy in enumerate([1.0, 1.0, 0.2, 0.2]):
+            tracker.observe_window(index=index, latency_s=0.01,
+                                   staleness_s=0.01, accuracy=accuracy,
+                                   frames=4)
+        # Sliding mean over 2: 1.0, 1.0, 0.6, 0.2 -> one breach window.
+        assert tracker.breaches.get("accuracy") == 1
+        accuracy_alerts = [a for a in monitor.alerts
+                           if a[2]["objective"] == "accuracy"]
+        assert accuracy_alerts and accuracy_alerts[0][1] == "critical"
+
+    def test_auto_calibration_freezes_targets(self):
+        tracker, monitor = self._tracker(
+            latency_target_s=None, staleness_target_s=None,
+            calibration_windows=3, target_factor=3.0,
+        )
+        self._feed(tracker, [0.01, 0.02, 0.03])
+        assert tracker.targets()["latency_s"] == pytest.approx(0.06)
+        # 10x the calibrated median breaches; calibration windows never do.
+        self._feed_one(tracker, 3, 0.2)
+        assert tracker.breaches["latency"] == 1
+        assert not any(r["breaches"] for r in tracker.records[:3])
+
+    def _feed_one(self, tracker, index, latency):
+        tracker.observe_window(index=index, latency_s=latency,
+                               staleness_s=latency, accuracy=1.0, frames=4)
+
+    def test_summary_and_close(self, tmp_path):
+        tracker, _ = self._tracker(tmp_path)
+        self._feed(tracker, [0.01, 0.02])
+        summary = tracker.summary()
+        assert summary["schema"] == SLO_SCHEMA
+        assert summary["windows"] == 2 and summary["frames"] == 8
+        assert summary["latency_s"]["count"] == 2
+        assert summary["breaches_total"] == 0
+        path = tracker.close()
+        with open(path, encoding="utf-8") as fp:
+            assert json.load(fp)["windows"] == 2
+
+    def test_infinite_targets_never_breach(self):
+        tracker, monitor = self._tracker(
+            latency_target_s=math.inf, staleness_target_s=math.inf,
+        )
+        self._feed(tracker, [10.0, 20.0])
+        assert tracker.breaches == {}
+        assert not monitor.alerts
+
+
+# ----------------------------------------------------------------------
+# run_stream end-to-end over the tiny substrate
+# ----------------------------------------------------------------------
+class TestRunStream:
+    def test_stream_run_writes_artifacts_and_is_deterministic(self, tmp_path,
+                                                              registry_root):
+        dataset = tiny_dataset()
+        config = StreamConfig(window_size=4, num_windows=6, seed=5,
+                              corrupt_every=3)
+        slo = SLOConfig(window=4, latency_target_s=math.inf,
+                        staleness_target_s=math.inf, accuracy_floor=0.0,
+                        calibration_windows=1)
+        results = []
+        for name in ("a", "b"):
+            run_dir = str(tmp_path / name)
+            snn = tiny_snn()
+            with obs.observe(run_dir, kind="stream"):
+                results.append(run_stream(
+                    snn, SyntheticStream(dataset, config), slo_config=slo,
+                ))
+        assert results[0].windows == 6
+        assert results[0].accuracy == results[1].accuracy
+        assert results[0].breaches == results[1].breaches
+        for name in ("a", "b"):
+            run_dir = tmp_path / name
+            assert (run_dir / "slo.jsonl").exists()
+            assert (run_dir / "slo_summary.json").exists()
+            assert (run_dir / "faults.jsonl").exists()  # corrupted windows
+        diff = diff_run_dirs(str(tmp_path / "a"), str(tmp_path / "b"))
+        assert diff.ok, diff.render()
+
+    def test_training_and_recording_flags_restored(self):
+        dataset = tiny_dataset()
+        snn = tiny_snn()
+        snn.train()
+        for neuron in snn.spiking_neurons():
+            neuron.recording = False
+        run_stream(snn, SyntheticStream(dataset, StreamConfig(
+            window_size=4, num_windows=2,
+        )), slo_config=SLOConfig(accuracy_floor=0.0))
+        assert snn.training is True
+        assert all(not n.recording for n in snn.spiking_neurons())
+
+
+# ----------------------------------------------------------------------
+# Diff gating semantics for the SLO series
+# ----------------------------------------------------------------------
+class TestSloDiffClassification:
+    def test_wall_clock_series_skip(self):
+        for name in (
+            "slo:latency_s.p95",
+            "slo:staleness_s.mean",
+            "window:slo.window_latency_s.mean",
+            "window:slo.throughput_fps.mean",
+            "window:slo.staleness_s.total_count",
+        ):
+            assert metric_direction(name) == "skip", name
+
+    def test_accuracy_and_breach_series_gate(self):
+        assert metric_direction("slo:accuracy.mean") == "up"
+        assert metric_direction("slo:sliding_accuracy") == "up"
+        assert metric_direction("window:slo.accuracy.mean") == "up"
+        assert metric_direction("slo:breaches.accuracy") == "down"
+        assert metric_direction("slo:breaches_total") == "down"
+        assert metric_direction("counter:slo.breaches{objective=latency}") \
+            == "down"
+        assert metric_direction("counter:slo.windows") == "both"
+
+
+# ----------------------------------------------------------------------
+# Dangling-baseline repair
+# ----------------------------------------------------------------------
+class TestDanglingBaseline:
+    def _registry_with_dangling_baseline(self, tmp_path):
+        registry = RunRegistry(root=str(tmp_path / "reg"))
+        gone = tmp_path / "gone"
+        gone.mkdir()
+        registry.register_start("run-gone", str(gone), {})
+        registry.register_end("run-gone", str(gone))
+        registry.set_baseline("run-gone")
+        gone.rmdir()
+        return registry
+
+    def test_require_baseline_messages(self, tmp_path):
+        registry = RunRegistry(root=str(tmp_path / "reg"))
+        with pytest.raises(BaselineError, match="tag-baseline"):
+            registry.require_baseline()
+        registry = self._registry_with_dangling_baseline(tmp_path)
+        with pytest.raises(BaselineError, match="dangling"):
+            registry.require_baseline()
+
+    def test_gc_clears_dangling_tag(self, tmp_path):
+        registry = self._registry_with_dangling_baseline(tmp_path)
+        summary = registry.gc()
+        assert summary["baseline_cleared"] is True
+        assert registry.baseline_id() is None
+        with pytest.raises(BaselineError, match="tag-baseline"):
+            registry.require_baseline()
+
+    def test_gc_cli_warns(self, tmp_path, monkeypatch, capsys):
+        registry = self._registry_with_dangling_baseline(tmp_path)
+        assert obs_main(["runs", "--root", registry.root, "gc"]) == 0
+        captured = capsys.readouterr()
+        assert "dangling baseline tag" in captured.err
+
+    def test_diff_baseline_fails_actionably(self, tmp_path, monkeypatch,
+                                            capsys):
+        registry = self._registry_with_dangling_baseline(tmp_path)
+        monkeypatch.setenv("REPRO_RUNS_ROOT", registry.root)
+        live = tmp_path / "live"
+        live.mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            obs_main(["diff", str(live), "--baseline"])
+        assert excinfo.value.code == 2
+        assert "runs gc" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Report + dashboard degradation over slo.jsonl
+# ----------------------------------------------------------------------
+def _write_slo_run(run_dir, torn=False):
+    os.makedirs(run_dir, exist_ok=True)
+    records = [
+        {"kind": "window", "schema": SLO_SCHEMA, "window": i, "frames": 4,
+         "latency_s": 0.01 * (i + 1), "staleness_s": 0.01, "accuracy": 0.75,
+         "sliding_accuracy": 0.75, "throughput_fps": 400.0, "burst": False,
+         "corrupted": False, "calibrating": False, "breaches": []}
+        for i in range(3)
+    ]
+    records.append({"kind": "breach", "schema": SLO_SCHEMA, "window": 2,
+                    "objective": "latency", "value": 0.5, "target": 0.1})
+    with open(os.path.join(run_dir, "slo.jsonl"), "w", encoding="utf-8") as fp:
+        for record in records:
+            fp.write(json.dumps(record) + "\n")
+        if torn:
+            fp.write('{"kind": "window", "window"')  # torn tail, no newline
+    summary = {
+        "schema": SLO_SCHEMA, "windows": 3, "frames": 12,
+        "targets": {"latency_s": 0.1, "staleness_s": None,
+                    "accuracy_floor": 0.5},
+        "latency_s": {"count": 3, "mean": 0.02, "min": 0.01, "max": 0.03,
+                      "p50": 0.02, "p95": 0.03, "p99": 0.03},
+        "staleness_s": None, "accuracy": None, "spikes_per_frame": None,
+        "sliding_accuracy": 0.75,
+        "breaches": {"latency": 1}, "breaches_total": 1,
+    }
+    with open(os.path.join(run_dir, "slo_summary.json"), "w",
+              encoding="utf-8") as fp:
+        json.dump(summary, fp)
+
+
+class TestSloDegradation:
+    def test_torn_tail_report_and_dashboard(self, tmp_path):
+        run_dir = str(tmp_path / "torn")
+        _write_slo_run(run_dir, torn=True)
+        data = load_run(run_dir)
+        assert len(data.slo) == 3
+        assert len(data.slo_breaches) == 1
+        assert any("slo.jsonl" in w for w in data.warnings)
+        report = render_report(data)
+        assert "## Streaming SLO" in report
+        assert "Breach log" in report
+        frames = []
+        for _ in range(2):
+            buf = io.StringIO()
+            with contextlib.redirect_stdout(buf):
+                assert dashboard_main([run_dir, "--once"]) == 0
+            frames.append(buf.getvalue())
+        assert frames[0] == frames[1]
+        assert "latency:BREACH" in frames[0]
+        assert "breach log" in frames[0]
+
+    def test_absent_slo_degrades_silently(self, tmp_path):
+        run_dir = str(tmp_path / "plain")
+        os.makedirs(run_dir)
+        data = load_run(run_dir)
+        assert not any("slo" in w for w in data.warnings)
+        assert "Streaming SLO" not in render_report(data)
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            assert dashboard_main([run_dir, "--once"]) == 0
+        assert "SLO" not in buf.getvalue()
+
+    def test_unreadable_summary_warns(self, tmp_path):
+        run_dir = str(tmp_path / "bad")
+        os.makedirs(run_dir)
+        with open(os.path.join(run_dir, "slo_summary.json"), "w",
+                  encoding="utf-8") as fp:
+            fp.write("{not json")
+        data = load_run(run_dir)
+        assert any("slo_summary.json" in w for w in data.warnings)
+
+
+# ----------------------------------------------------------------------
+# Canary verdict (report section + deterministic gate on tiny bundles)
+# ----------------------------------------------------------------------
+class TestCanary:
+    def test_canary_error_on_non_bundle(self, tmp_path, registry_root):
+        from repro.stream.canary import CanaryError, run_canary
+
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(CanaryError, match="stream_meta.json"):
+            run_canary(str(empty), baseline_ref=str(empty))
+
+    def test_canary_error_on_unknown_ref(self, tmp_path, registry_root):
+        from repro.stream.canary import CanaryError, run_canary
+
+        with pytest.raises(CanaryError, match="neither a directory"):
+            run_canary("no-such-run")
+
+    def test_canary_requires_baseline_tag(self, tmp_path, registry_root):
+        from repro.stream.canary import CanaryError, run_canary
+
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        (bundle / "stream_meta.json").write_text(json.dumps({
+            "schema": "repro.stream.meta/v1", "experiment": {}, "stream": {},
+        }))
+        with pytest.raises(CanaryError, match="tag-baseline"):
+            run_canary(str(bundle))
+
+    def test_report_renders_canary_verdict(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        os.makedirs(run_dir)
+        payload = {
+            "schema": "repro.obs.canary/v1", "verdict": "rollback",
+            "ok": False,
+            "candidate": {"source": "c", "replay_dir": "c/canary/candidate"},
+            "baseline": {"source": "b", "replay_dir": "c/canary/baseline"},
+            "stream": {"seed": 7, "num_windows": 16, "window_size": 8},
+            "regressions": [
+                {"name": "slo:accuracy.mean", "baseline": 0.8,
+                 "candidate": 0.2, "note": ""},
+            ],
+        }
+        with open(os.path.join(run_dir, "canary.json"), "w",
+                  encoding="utf-8") as fp:
+            json.dump(payload, fp)
+        report = render_report(load_run(run_dir))
+        assert "Canary verdict" in report
+        assert "ROLLBACK" in report
+        assert "slo:accuracy.mean" in report
+        # The verdict leads the report, right after any warnings.
+        assert report.index("Canary verdict") < report.index("## Spans")
+
+    def test_identical_replays_promote_degraded_rolls_back(self, tmp_path,
+                                                           registry_root):
+        """The verdict layer is a pure function of the two replay dirs:
+        identical-seed replays promote, an accuracy collapse rolls back."""
+        dataset = tiny_dataset()
+        config = StreamConfig(window_size=4, num_windows=5, seed=9)
+        slo = SLOConfig(window=4, latency_target_s=math.inf,
+                        staleness_target_s=math.inf, accuracy_floor=0.0,
+                        calibration_windows=1)
+        replays = {}
+        for name, seed in (("baseline", 0), ("same", 0), ("degraded", 123)):
+            run_dir = str(tmp_path / name)
+            snn = tiny_snn(seed=seed)
+            if name == "degraded":
+                # Kill the weight matrices (thresholds stay valid):
+                # spike traffic collapses deterministically.
+                for parameter in snn.parameters():
+                    if parameter.data.ndim >= 2:
+                        parameter.data[...] = 0.0
+            with obs.observe(run_dir, kind="canary_replay", role=name):
+                run_stream(snn, SyntheticStream(dataset, config),
+                           slo_config=slo)
+            replays[name] = run_dir
+        clean = diff_run_dirs(replays["baseline"], replays["same"])
+        assert clean.ok, clean.render()
+        degraded = diff_run_dirs(replays["baseline"], replays["degraded"])
+        assert not degraded.ok
+        gated = {d.name for d in degraded.regressions}
+        assert any("slo" in name or "spikes" in name for name in gated)
