@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke stream-smoke runs-gc examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke stream-smoke sparse-smoke runs-gc examples clean
 
 install:
 	python setup.py develop
@@ -42,8 +42,18 @@ microbench:
 # `dashboard --once` renders deterministically.  Runs the
 # fault-tolerance smoke first, then the op-profiled variant (a
 # strict superset of the plain pipeline assertions), then the
-# streaming SLO + canary gate smoke.
-smoke: faults-smoke profile-smoke stream-smoke
+# streaming SLO + canary gate smoke, then the sparse-dispatch smoke.
+smoke: faults-smoke profile-smoke stream-smoke sparse-smoke
+
+# Event-driven sparse execution check: crossover calibration must be
+# deterministic under a fixed time_fn and round-trip through its
+# artefact, a low-activity pipeline must route most weight-layer
+# forwards through the sparse gather kernels with dense-identical
+# logits (int8 within quantization tolerance), measured accumulate
+# counts must reach the energy.* gauges alongside dispatch.* telemetry
+# in report + dashboard, and an identical-seed self-diff must be clean.
+sparse-smoke:
+	PYTHONPATH=src python -m repro.snn.sparse_smoke
 
 # The same smoke pipeline with the op profiler on: both runs must write
 # profile.jsonl + a repro.obs.profile/v1 summary with per-layer

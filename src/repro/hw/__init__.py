@@ -7,15 +7,23 @@ from .mapping import (
     LayerMapping,
     map_network,
 )
-from .quantization import precision_sweep, quantize_array, quantize_weights
+from .quantization import (
+    QuantizedWeights,
+    precision_sweep,
+    quantize_array,
+    quantize_int8,
+    quantize_weights,
+)
 
 __all__ = [
     "CoreSpec",
     "DeploymentReport",
     "EnergyCoefficients",
     "LayerMapping",
+    "QuantizedWeights",
     "map_network",
     "precision_sweep",
     "quantize_array",
+    "quantize_int8",
     "quantize_weights",
 ]

@@ -44,6 +44,7 @@ from .instruments import (
     measure_inference_memory,
     measure_training_memory,
     monitored,
+    record_dispatch_profile,
     record_energy_profile,
     record_spike_profile,
     timed,
@@ -121,6 +122,7 @@ __all__ = [
     "monitored",
     "observe",
     "profile",
+    "record_dispatch_profile",
     "record_energy_profile",
     "record_spike_profile",
     "render_report",

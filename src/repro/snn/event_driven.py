@@ -30,6 +30,7 @@ import numpy as np
 
 from ..nn import Conv2d, Linear
 from ..tensor import Tensor, no_grad
+from ..tensor.sparse import pack_spikes, sparse_conv2d_gather, sparse_linear_gather
 from .network import SpikingNetwork, StepWrapper
 
 
@@ -67,44 +68,35 @@ def conv_fanout_map(
 def sparse_conv2d(
     spikes: np.ndarray, layer: Conv2d
 ) -> np.ndarray:
-    """Event-by-event convolution: scatter each input spike's weighted
-    kernel into the output map.  Reference implementation (slow)."""
-    n, c_in, h, w = spikes.shape
-    k, s, p = layer.kernel_size, layer.stride, layer.padding
-    out_h = (h + 2 * p - k) // s + 1
-    out_w = (w + 2 * p - k) // s + 1
-    out = np.zeros((n, layer.out_channels, out_h, out_w))
-    weight = layer.weight.data
-    batch_idx, chan_idx, row_idx, col_idx = np.nonzero(spikes)
-    for b, c, y, x in zip(batch_idx, chan_idx, row_idx, col_idx):
-        amplitude = spikes[b, c, y, x]
-        # Output positions (i, j) with i*s - p <= y < i*s - p + k.
-        i_lo = max(0, -(-(y + p - k + 1) // s))
-        i_hi = min(out_h - 1, (y + p) // s)
-        j_lo = max(0, -(-(x + p - k + 1) // s))
-        j_hi = min(out_w - 1, (x + p) // s)
-        for i in range(i_lo, i_hi + 1):
-            ky = y - (i * s - p)
-            for j in range(j_lo, j_hi + 1):
-                kx = x - (j * s - p)
-                out[b, :, i, j] += amplitude * weight[:, c, ky, kx]
-    if layer.bias is not None:
-        out += layer.bias.data[None, :, None, None]
-    return out
+    """Event-driven convolution over the active inputs only.
+
+    Vectorised gather/segment-sum execution (``repro.tensor.sparse``):
+    events are packed once, each kernel offset gathers its per-channel
+    weight rows and accumulates sorted output-row runs — no per-event
+    Python loop.  Semantics are unchanged from the original reference
+    implementation (one accumulate per spike per reachable output
+    connection).
+    """
+    return sparse_conv2d_gather(
+        pack_spikes(spikes),
+        weight=layer.weight.data,
+        stride=layer.stride,
+        padding=layer.padding,
+        bias=layer.bias.data if layer.bias is not None else None,
+    )
 
 
 def sparse_linear(spikes: np.ndarray, layer: Linear) -> np.ndarray:
-    """Event-by-event linear layer: accumulate active columns only."""
-    n = spikes.shape[0]
-    out = np.zeros((n, layer.out_features))
-    weight = layer.weight.data
-    for b in range(n):
-        active = np.nonzero(spikes[b])[0]
-        if active.size:
-            out[b] = weight[:, active] @ spikes[b, active]
-    if layer.bias is not None:
-        out += layer.bias.data
-    return out
+    """Event-driven linear layer: accumulate active columns only.
+
+    Vectorised: one transposed weight gather over the packed event
+    columns plus a segment sum per sample row.
+    """
+    return sparse_linear_gather(
+        pack_spikes(spikes),
+        weight=layer.weight.data,
+        bias=layer.bias.data if layer.bias is not None else None,
+    )
 
 
 @dataclass
@@ -187,6 +179,7 @@ class EventDrivenNetwork:
                 counts.input_events.append(0.0)
                 counts.input_shapes.append(())
             original = wrapper.forward
+            had_instance_forward = "forward" in wrapper.__dict__
 
             def counting(
                 x: Tensor,
@@ -235,7 +228,7 @@ class EventDrivenNetwork:
                 return _orig(x)
 
             object.__setattr__(wrapper, "forward", counting)
-            patched.append((wrapper, original))
+            patched.append((wrapper, original, had_instance_forward))
         return patched
 
     def _fanout_for(self, layer: Conv2d, in_shape) -> np.ndarray:
@@ -258,6 +251,13 @@ class EventDrivenNetwork:
                 logits = self.snn(images)
         finally:
             self.snn.train(was_training)
-            for wrapper, original in patched:
-                object.__setattr__(wrapper, "forward", original)
+            for wrapper, original, had_instance_forward in patched:
+                if had_instance_forward:
+                    object.__setattr__(wrapper, "forward", original)
+                else:
+                    # Restore by *removing* the instance attribute: an
+                    # assigned bound method would read as a patched
+                    # forward forever after, silently degrading the
+                    # fused engine's folding/prefix optimisations.
+                    object.__delattr__(wrapper, "forward")
         return logits, self._counts
