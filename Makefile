@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke stream-smoke sparse-smoke runs-gc examples clean
+.PHONY: install test bench bench-check bench-baseline microbench quicktest smoke faults-smoke profile-smoke stream-smoke sparse-smoke exec-smoke runs-gc examples clean
 
 install:
 	python setup.py develop
@@ -42,8 +42,19 @@ microbench:
 # `dashboard --once` renders deterministically.  Runs the
 # fault-tolerance smoke first, then the op-profiled variant (a
 # strict superset of the plain pipeline assertions), then the
-# streaming SLO + canary gate smoke, then the sparse-dispatch smoke.
-smoke: faults-smoke profile-smoke stream-smoke sparse-smoke
+# streaming SLO + canary gate smoke, then the sparse-dispatch smoke,
+# and finally the parallel-executor supervision smoke.
+smoke: faults-smoke profile-smoke stream-smoke sparse-smoke exec-smoke
+
+# Parallel-execution check: map/reduce results must be bitwise
+# identical at workers 1/2/4, survive a deterministic chaos worker
+# kill unchanged, quarantine a poison task into an explicit partial
+# result, degrade to serial on an unavailable start method, and keep
+# an identical-seed obs diff clean between a clean and a chaos-killed
+# parallel fault sweep (cross-worker-count diffs flag the executor
+# config informationally, never as a gate).
+exec-smoke:
+	PYTHONPATH=src python -m repro.exec.smoke
 
 # Event-driven sparse execution check: crossover calibration must be
 # deterministic under a fixed time_fn and round-trip through its

@@ -1,0 +1,50 @@
+"""Fixed-order tree reduction.
+
+Parallel sweeps must produce bitwise-identical results to the serial
+path regardless of worker count or completion order.  Floating-point
+addition is not associative, so *any* reduction over partial results
+has to fix its combination order up front.  ``tree_reduce`` combines a
+list pairwise in a deterministic binary-tree shape that depends only on
+``len(items)`` — never on which worker finished first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["tree_reduce"]
+
+
+def tree_reduce(
+    combine: Callable[[T, T], T],
+    items: Sequence[T],
+    *,
+    initial: Optional[T] = None,
+) -> T:
+    """Reduce ``items`` with ``combine`` in a fixed pairwise tree order.
+
+    The tree shape is a pure function of ``len(items)``: level 0 pairs
+    ``(items[0], items[1]), (items[2], items[3]), ...``; odd tails are
+    carried up unchanged.  Two calls with equal-length inputs therefore
+    apply ``combine`` in exactly the same order, which keeps
+    non-associative combines (float sums, running means) bitwise
+    reproducible across worker counts.
+
+    ``initial`` seeds the reduction as a leading element (index 0).
+    Raises ``ValueError`` on an empty reduction with no ``initial``.
+    """
+    level: List[T] = list(items)
+    if initial is not None:
+        level = [initial] + level
+    if not level:
+        raise ValueError("tree_reduce() of empty sequence with no initial value")
+    while len(level) > 1:
+        nxt: List[T] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(combine(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,210 @@
+"""Zero-copy model publication over POSIX shared memory.
+
+Sweep fan-out would otherwise pickle the full model into every task
+message.  ``ModelStore.publish`` packs all parameter arrays into one
+``multiprocessing.shared_memory`` segment and pickles only the model
+*structure* (with empty placeholder arrays), returning a small
+picklable :class:`ShmModelHandle`.  Workers call :func:`attach_model`
+to rebuild the model with its parameters backed directly by the shared
+segment — the weights are mapped, not copied.
+
+Two attach modes:
+
+* ``writable=False`` (default) — parameters are **read-only views** of
+  the shared buffer.  Any accidental in-place write raises, which
+  protects the determinism contract (a worker scribbling on shared
+  weights would corrupt every other worker's results).
+* ``writable=True`` — each worker makes **one private copy** of the
+  buffer at attach time and parameters view that copy.  Required by
+  consumers that mutate weights in place (``repro.faults`` injection
+  restores exact bits per task, but only within its own process).  The
+  copy happens once per worker per handle, not once per task.
+
+Attached models are cached per ``(segment, writable)`` so repeated
+tasks in one worker reuse the same rebuild.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShmModelHandle", "ModelStore", "attach_model", "clear_attach_cache"]
+
+
+@dataclass(frozen=True)
+class ShmModelHandle:
+    """Picklable reference to a model published in shared memory."""
+
+    segment: str
+    structure: bytes
+    entries: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+    total_bytes: int
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.entries)
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class ModelStore:
+    """Parent-side owner of shared-memory model segments.
+
+    Context manager: segments are closed **and unlinked** on exit, so
+    publish inside a ``with`` block that outlives the executor map.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+
+    def publish(self, model) -> ShmModelHandle:
+        params = list(model.named_parameters())
+        arrays = [np.ascontiguousarray(param.data) for _, param in params]
+        entries: List[Tuple[str, int, Tuple[int, ...], str]] = []
+        offset = 0
+        for (name, _), array in zip(params, arrays):
+            offset = _align(offset)
+            entries.append((name, offset, tuple(array.shape), array.dtype.str))
+            offset += array.nbytes
+        total = max(offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        self._segments.append(shm)
+        for (_, start, _, _), array in zip(entries, arrays):
+            flat = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=start)
+            flat[...] = array
+
+        # Pickle the structure with parameter data (and grads) swapped
+        # out for empty placeholders; the real arrays live in ``shm``.
+        stash = [(param, param.data, param.grad) for _, param in params]
+        try:
+            for param, data, _ in stash:
+                param.data = np.empty(0, dtype=data.dtype)
+                param.grad = None
+            structure = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            for param, data, grad in stash:
+                param.data = data
+                param.grad = grad
+        return ShmModelHandle(
+            segment=shm.name,
+            structure=structure,
+            entries=tuple(entries),
+            total_bytes=total,
+        )
+
+    def close(self) -> None:
+        for shm in self._segments:
+            try:
+                shm.close()
+            except OSError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "ModelStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# Worker-side cache: (segment name, writable) -> (model, keepalive shm).
+_ATTACHED: Dict[Tuple[str, bool], Tuple[object, Optional[shared_memory.SharedMemory]]] = {}
+
+
+def attach_model(handle: ShmModelHandle, *, writable: bool = False):
+    """Rebuild the published model in this process (cached per handle)."""
+    key = (handle.segment, bool(writable))
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        return cached[0]
+
+    tracker_shared = _tracker_preexisting()
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    if not tracker_shared:
+        _maybe_unregister_tracker(shm)
+    keepalive: Optional[shared_memory.SharedMemory] = shm
+    if writable:
+        # One private copy per worker; faults injection mutates weights
+        # in place and must never touch the shared segment.
+        buffer = bytearray(shm.buf[: handle.total_bytes])
+        shm.close()
+        keepalive = None
+    else:
+        buffer = shm.buf
+
+    model = pickle.loads(handle.structure)
+    params = dict(model.named_parameters())
+    for name, offset, shape, dtype in handle.entries:
+        if name not in params:
+            raise KeyError(f"shared-memory handle names unknown parameter {name!r}")
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buffer, offset=offset)
+        if not writable:
+            view.flags.writeable = False
+        params[name].data = view
+    _ATTACHED[key] = (model, keepalive)
+    return model
+
+
+def clear_attach_cache() -> None:
+    """Drop cached attachments (mainly for in-process tests)."""
+    for _, keepalive in _ATTACHED.values():
+        if keepalive is not None:
+            try:
+                keepalive.close()
+            except (OSError, BufferError):
+                pass
+    _ATTACHED.clear()
+
+
+def _tracker_preexisting() -> bool:
+    """Was a resource tracker already running before this attach?
+
+    Under ``fork`` the child inherits the parent's tracker connection,
+    so the tracker (and its registration of the segment) is *shared*
+    with the owning parent — unregistering from the child would strip
+    the parent's entry and make the parent's later unlink crash the
+    tracker with a KeyError.  Under ``spawn``/``forkserver`` the child
+    has no tracker yet; attaching spawns a child-owned one which must
+    be told to forget the segment (or it unlinks it at child exit,
+    racing the parent).  The pre-existing-fd check distinguishes the
+    two cases without knowing the start method.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        return resource_tracker._resource_tracker._fd is not None  # type: ignore[attr-defined]
+    except Exception:
+        return True  # when in doubt, leave the registration alone
+
+
+def _maybe_unregister_tracker(shm: shared_memory.SharedMemory) -> None:
+    """Stop a child-owned resource tracker treating an attach as ownership.
+
+    Child processes that merely attach must not register the segment
+    with their own tracker: on Python 3.11 the tracker would unlink it
+    (or warn about leaks) when the child exits, racing the parent which
+    owns the segment.  Only applies in child processes whose tracker is
+    not shared with the parent (see :func:`_tracker_preexisting`) — the
+    creating process keeps its registration for crash cleanup.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is None:
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass

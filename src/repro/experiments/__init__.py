@@ -27,7 +27,12 @@ from .fig1 import render_fig1, run_fig1
 from .fig2 import render_fig2, run_fig2
 from .fig3 import render_fig3, run_fig3
 from .fig4 import render_fig4, run_fig4
-from .multiseed import SeedSweepResult, seed_sweep, strategy_win_rate
+from .multiseed import (
+    SeedSweepResult,
+    render_seed_sweep,
+    seed_sweep,
+    strategy_win_rate,
+)
 from .pipeline import (
     PipelineResult,
     clear_pipeline_cache,
@@ -50,6 +55,7 @@ __all__ = [
     "SeedSweepResult",
     "ascii_chart",
     "export_csv",
+    "render_seed_sweep",
     "seed_sweep",
     "strategy_win_rate",
     "ExperimentContext",

@@ -10,8 +10,13 @@ Regenerate any paper table/figure from the shell:
     python -m repro.experiments fig4 --dataset cifar100
     python -m repro.experiments ablation
     python -m repro.experiments robustness --arch vgg11
-    python -m repro.experiments faults --arch vgg11
+    python -m repro.experiments faults --arch vgg11 --workers 4
+    python -m repro.experiments multiseed --seeds 0 1 2 --workers 4
     python -m repro.experiments report          # results/*.json -> REPORT.md
+
+``--workers N`` shards the fault sweep, the multiseed sweep, and
+Algorithm 1's per-layer search over N supervised worker processes
+(``repro.exec``); results are bitwise identical to ``--workers 1``.
 
 Results print as the paper-style tables and are archived under
 ``results/`` as JSON.
@@ -33,8 +38,10 @@ from . import (
     render_fault_sweep,
     render_fig1,
     render_noise_robustness,
+    render_seed_sweep,
     run_fault_sweep,
     run_noise_robustness,
+    seed_sweep,
     render_fig2,
     render_fig3,
     render_fig4,
@@ -63,7 +70,7 @@ def main(argv=None) -> int:
         "experiment",
         choices=[
             "table1", "table2", "fig1", "fig2", "fig3", "fig4",
-            "ablation", "robustness", "faults", "report",
+            "ablation", "robustness", "faults", "multiseed", "report",
         ],
     )
     parser.add_argument("--scale", default="bench", choices=["tiny", "bench", "full"])
@@ -71,6 +78,16 @@ def main(argv=None) -> int:
     parser.add_argument("--arch", default="vgg16",
                         choices=["vgg11", "vgg16", "resnet20"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="seed list for the multiseed sweep "
+                             "(default: 0 1 2)")
+    parser.add_argument("--timesteps", type=int, default=2,
+                        help="SNN timesteps for the multiseed sweep")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard parallelisable work (fault sweep, "
+                             "multiseed, Algorithm 1's per-layer search) "
+                             "over N worker processes; results are "
+                             "bitwise identical to --workers 1")
     parser.add_argument("--no-save", action="store_true",
                         help="skip writing results/<experiment>.json")
     parser.add_argument("--trace", metavar="RUN_DIR", default=None,
@@ -88,30 +105,39 @@ def main(argv=None) -> int:
         parser.error("--tag-baseline requires --trace RUN_DIR")
     if args.profile and not args.trace:
         parser.error("--profile requires --trace RUN_DIR")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
 
-    if args.trace:
-        obs_configure(
-            run_dir=args.trace,
-            profile=args.profile,
-            experiment=args.experiment,
-            arch=args.arch,
-            dataset=args.dataset,
-            scale=args.scale,
-            seed=args.seed,
-        )
-    status = "error"
-    try:
-        code = _run(args)
-        status = "completed"
-        return code
-    finally:
+    # Install the ambient executor before obs_configure so the run
+    # registry's environment fingerprint records the worker config and
+    # cross-worker-count diffs can be flagged.
+    from ..exec import ParallelExecutor, executor_scope
+
+    executor = ParallelExecutor(workers=args.workers) if args.workers > 1 else None
+    with executor_scope(executor):
         if args.trace:
-            if args.tag_baseline:
-                from . import pipeline as _pipeline
+            obs_configure(
+                run_dir=args.trace,
+                profile=args.profile,
+                experiment=args.experiment,
+                arch=args.arch,
+                dataset=args.dataset,
+                scale=args.scale,
+                seed=args.seed,
+            )
+        status = "error"
+        try:
+            code = _run(args)
+            status = "completed"
+            return code
+        finally:
+            if args.trace:
+                if args.tag_baseline:
+                    from . import pipeline as _pipeline
 
-                _pipeline._tag_run_as_baseline()
-            obs_shutdown(status=status)
-            console(f"trace written to {args.trace}")
+                    _pipeline._tag_run_as_baseline()
+                obs_shutdown(status=status)
+                console(f"trace written to {args.trace}")
 
 
 def _run(args) -> int:
@@ -166,6 +192,29 @@ def _run(args) -> int:
         )
         console(render_fault_sweep(result))
         payload = result
+    elif args.experiment == "multiseed":
+        from .config import ExperimentConfig, get_scale
+
+        config = ExperimentConfig(
+            arch=args.arch, dataset=args.dataset,
+            timesteps=args.timesteps, scale=get_scale(args.scale),
+            seed=args.seed,
+        )
+        seeds = args.seeds if args.seeds is not None else [0, 1, 2]
+        sweep = seed_sweep(config, seeds)
+        console(render_seed_sweep(sweep))
+        payload = {
+            "arch": args.arch,
+            "dataset": args.dataset,
+            "timesteps": args.timesteps,
+            "seeds": sweep.seeds,
+            "dnn": sweep.dnn,
+            "conversion": sweep.conversion,
+            "snn": sweep.snn,
+            "status": sweep.status,
+            "failed_seeds": sweep.failed_seeds,
+            "summary": sweep.summary(),
+        }
     else:
         rows = run_scaling_ablation(
             dataset=args.dataset, scale_name=args.scale, seed=args.seed

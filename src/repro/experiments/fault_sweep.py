@@ -20,7 +20,7 @@ streams), so two identical sweep invocations return identical curves.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults import FaultSpec
 from ..train import evaluate_dnn, evaluate_snn
@@ -83,6 +83,72 @@ def _faulted_accuracy(model, loader_factory, spec: FaultSpec, evaluate) -> float
         return evaluate(model, loader_factory) * 100.0
 
 
+# ---------------------------------------------------------------------
+# Parallel sweep plumbing (see repro.exec)
+# ---------------------------------------------------------------------
+# Worker-process state, populated once per worker by the executor's
+# initializer: published model handles, the experiment config, and the
+# lazily rebuilt test set.  Models attach as *writable* shared-memory
+# copies because fault injection mutates weights in place (restoring
+# exact bits afterwards) — one private copy per worker, reused across
+# every sweep point that worker evaluates.
+_WORKER_STATE: Optional[Dict] = None
+
+
+def _sweep_worker_init(handles: Dict[str, object], config: ExperimentConfig) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = {"handles": handles, "config": config, "models": {}, "data": None}
+
+
+def _worker_test_loader():
+    from ..data import DataLoader, Normalize
+    from .context import _build_dataset
+
+    state = _WORKER_STATE
+    if state["data"] is None:
+        dataset = _build_dataset(state["config"])
+        mean, std = dataset.channel_stats()
+        state["data"] = (dataset, Normalize(mean, std))
+    dataset, normalize = state["data"]
+    # Same construction as ExperimentContext.test_loader(): fresh
+    # deterministic iterable per evaluation.
+    return DataLoader(
+        dataset.test_images,
+        dataset.test_labels,
+        batch_size=state["config"].scale.batch_size,
+        transform=normalize,
+    )
+
+
+def _sweep_point_task(payload: Tuple[str, str, object, int]) -> float:
+    """Evaluate one (model, fault kind, severity) sweep point."""
+    from ..exec import attach_model
+
+    model_key, kind, level, seed = payload
+    state = _WORKER_STATE
+    model = state["models"].get(model_key)
+    if model is None:
+        model = attach_model(state["handles"][model_key], writable=True)
+        state["models"][model_key] = model
+    spec = build_fault_spec(kind, level, seed=seed)
+    evaluate = evaluate_dnn if model_key == "dnn" else evaluate_snn
+    return _faulted_accuracy(model, _worker_test_loader(), spec, evaluate)
+
+
+def _sweep_points(
+    kinds: Sequence[str], ladders: Dict[str, Sequence]
+) -> List[Tuple[str, str, object]]:
+    """Deterministic task order: (model, kind, level) per sweep cell."""
+    points: List[Tuple[str, str, object]] = []
+    for kind in kinds:
+        for level in ladders[kind]:
+            if kind in WEIGHT_KINDS:
+                points.append(("dnn", kind, level))
+            points.append(("converted", kind, level))
+            points.append(("finetuned", kind, level))
+    return points
+
+
 def run_fault_sweep(
     arch: str = "vgg11",
     dataset: str = "cifar10",
@@ -91,12 +157,25 @@ def run_fault_sweep(
     fault_kinds: Optional[Sequence[str]] = None,
     ladders: Optional[Dict[str, Sequence]] = None,
     seed: int = 0,
+    workers: int = 1,
+    executor=None,
 ) -> Dict:
     """Accuracy-vs-fault-severity curves for DNN / converted / fine-tuned.
 
     Returns ``{"curves": [{"fault", "levels", "dnn", "converted",
     "finetuned"}, ...]}`` with accuracies in percent; ``dnn`` is ``None``
     for fault kinds that only exist in the spiking domain.
+
+    ``workers > 1`` (or an explicit ``executor``) shards the sweep cells
+    over a :class:`repro.exec.ParallelExecutor`: models are published
+    once over shared memory, every worker rebuilds the deterministic
+    test set, and cells are assembled back by task index — so curves
+    are bitwise identical to the serial sweep for any worker count.
+    Quarantined cells (a genuinely poisonous task) surface as ``None``
+    entries with ``status="partial"`` and a ``failures`` list instead
+    of losing the whole sweep.  Per-layer fault telemetry events are
+    recorded by the serial path only (workers run with observability
+    disabled).
     """
     scale = get_scale(scale_name)
     config = ExperimentConfig(
@@ -111,23 +190,61 @@ def run_fault_sweep(
     kinds = list(fault_kinds) if fault_kinds is not None else list(DEFAULT_LADDERS)
     ladders = {**DEFAULT_LADDERS, **(ladders or {})}
 
+    if executor is None and workers > 1:
+        from ..exec import ParallelExecutor
+
+        executor = ParallelExecutor(workers=workers)
+    if executor is None:
+        from ..exec import ambient_executor
+
+        executor = ambient_executor()
+    parallel = executor is not None and executor.workers > 1
+
+    failures: List[Dict] = []
+    if parallel:
+        from ..exec import ModelStore
+
+        models = {"dnn": context.model, "converted": converted, "finetuned": result.snn}
+        points = _sweep_points(kinds, ladders)
+        with ModelStore() as store:
+            handles = {key: store.publish(model) for key, model in models.items()}
+            outcome = executor.map(
+                _sweep_point_task,
+                [(model_key, kind, level, seed) for model_key, kind, level in points],
+                label="fault_sweep",
+                initializer=_sweep_worker_init,
+                initargs=(handles, config),
+            )
+        cell_values = dict(zip(points, outcome.results))
+        failures = [
+            {**failure.as_dict(), "point": list(points[index])}
+            for index, failure in sorted(outcome.failures.items())
+        ]
+
+        def _cell(model_key: str, kind: str, level) -> Optional[float]:
+            return cell_values[(model_key, kind, level)]
+
+    else:
+
+        def _cell(model_key: str, kind: str, level) -> float:
+            spec = build_fault_spec(kind, level, seed=seed)
+            if model_key == "dnn":
+                return _faulted_accuracy(
+                    context.model, context.test_loader(), spec, evaluate_dnn
+                )
+            model = converted if model_key == "converted" else result.snn
+            return _faulted_accuracy(model, context.test_loader(), spec, evaluate_snn)
+
     curves = []
     for kind in kinds:
         levels = list(ladders[kind])
         dnn_curve = [] if kind in WEIGHT_KINDS else None
         converted_curve, finetuned_curve = [], []
         for level in levels:
-            spec = build_fault_spec(kind, level, seed=seed)
             if dnn_curve is not None:
-                dnn_curve.append(_faulted_accuracy(
-                    context.model, context.test_loader(), spec, evaluate_dnn
-                ))
-            converted_curve.append(_faulted_accuracy(
-                converted, context.test_loader(), spec, evaluate_snn
-            ))
-            finetuned_curve.append(_faulted_accuracy(
-                result.snn, context.test_loader(), spec, evaluate_snn
-            ))
+                dnn_curve.append(_cell("dnn", kind, level))
+            converted_curve.append(_cell("converted", kind, level))
+            finetuned_curve.append(_cell("finetuned", kind, level))
         curves.append({
             "fault": kind,
             "levels": levels,
@@ -141,6 +258,8 @@ def run_fault_sweep(
         "dataset": dataset,
         "timesteps": timesteps,
         "seed": seed,
+        "status": "partial" if failures else "ok",
+        "failures": failures,
         "curves": curves,
     }
 
@@ -151,6 +270,12 @@ def _format_level(kind: str, level) -> str:
     return f"{level:g}"
 
 
+def _format_cell(value: Optional[float]) -> str:
+    # ``None`` cells are quarantined sweep points from a partial
+    # parallel run (see run_fault_sweep).
+    return "-" if value is None else f"{value:.1f}"
+
+
 def render_fault_sweep(result: Dict) -> str:
     """Markdown-ish tables: one degradation curve per fault kind."""
     timesteps = result["timesteps"]
@@ -159,12 +284,12 @@ def render_fault_sweep(result: Dict) -> str:
         kind = curve["fault"]
         rows = []
         for i, level in enumerate(curve["levels"]):
-            dnn = f"{curve['dnn'][i]:.1f}" if curve["dnn"] is not None else "-"
+            dnn = _format_cell(curve["dnn"][i]) if curve["dnn"] is not None else "-"
             rows.append([
                 _format_level(kind, level),
                 dnn,
-                f"{curve['converted'][i]:.1f}",
-                f"{curve['finetuned'][i]:.1f}",
+                _format_cell(curve["converted"][i]),
+                _format_cell(curve["finetuned"][i]),
             ])
         blocks.append(format_table(
             ["severity", "DNN %", f"converted (T={timesteps}) %",
@@ -172,4 +297,12 @@ def render_fault_sweep(result: Dict) -> str:
             rows,
             title=f"Fault sweep: {kind} ({result['arch']}, {result['dataset']})",
         ))
+    if result.get("status") == "partial":
+        lines = [
+            f"  task {f['index']} {tuple(f['point'])}: {f['kind']} ({f['message']})"
+            for f in result.get("failures", [])
+        ]
+        blocks.append(
+            "PARTIAL SWEEP: quarantined/failed points\n" + "\n".join(lines)
+        )
     return "\n\n".join(blocks)

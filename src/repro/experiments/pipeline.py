@@ -29,7 +29,7 @@ from ..train import (
     TrainingHistory,
     evaluate_snn,
 )
-from ..utils import CheckpointError, load_checkpoint, save_checkpoint
+from ..utils import CheckpointError, delay_interrupts, load_checkpoint, save_checkpoint
 from .config import ExperimentConfig
 from .context import ExperimentContext, get_context
 
@@ -55,13 +55,24 @@ def _pipeline_fingerprint(
 
 
 def _write_pipeline_state(checkpoint_dir: str, state: dict) -> None:
-    """Atomically persist the pipeline progress record."""
+    """Atomically persist the pipeline progress record.
+
+    The temp-write + ``os.replace`` keeps the file itself atomic;
+    ``delay_interrupts`` additionally defers SIGINT/SIGTERM across the
+    sequence so a kill signal can never be handled between serialising
+    and renaming (the deferred signal fires right after the rename).
+    """
     os.makedirs(checkpoint_dir, exist_ok=True)
     path = os.path.join(checkpoint_dir, _STATE_FILENAME)
     tmp_path = f"{path}.tmp-{os.getpid()}"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(state, handle, indent=2, sort_keys=True)
-    os.replace(tmp_path, path)
+    with delay_interrupts():
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(state, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
 
 
 def _read_pipeline_state(checkpoint_dir: str) -> Optional[dict]:
@@ -246,31 +257,37 @@ def run_pipeline(
                 def on_epoch_end(epoch, _history):
                     if epoch % checkpoint_every != 0 and epoch != snn_epochs:
                         return
-                    save_checkpoint(
-                        conversion.snn,
-                        os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
-                    )
-                    _write_pipeline_state(checkpoint_dir, {
-                        "fingerprint": fingerprint,
-                        "completed_epochs": epoch,
-                        "total_epochs": snn_epochs,
-                        "conversion_accuracy": conversion_accuracy,
-                    })
+                    # The weights archive and the progress record must
+                    # advance together: a SIGTERM/Ctrl-C between the
+                    # two would leave epoch-N weights with an epoch-N-1
+                    # record and a resume would silently diverge.
+                    with delay_interrupts():
+                        save_checkpoint(
+                            conversion.snn,
+                            os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
+                        )
+                        _write_pipeline_state(checkpoint_dir, {
+                            "fingerprint": fingerprint,
+                            "completed_epochs": epoch,
+                            "total_epochs": snn_epochs,
+                            "conversion_accuracy": conversion_accuracy,
+                        })
                     obs_metrics.inc("pipeline.checkpoints_written")
                 # A fresh guarded/checkpointed run records its starting
                 # point so a kill before epoch 1 completes still resumes
                 # cleanly (from the converted weights).
                 if resumed_state is None:
-                    save_checkpoint(
-                        conversion.snn,
-                        os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
-                    )
-                    _write_pipeline_state(checkpoint_dir, {
-                        "fingerprint": fingerprint,
-                        "completed_epochs": 0,
-                        "total_epochs": snn_epochs,
-                        "conversion_accuracy": conversion_accuracy,
-                    })
+                    with delay_interrupts():
+                        save_checkpoint(
+                            conversion.snn,
+                            os.path.join(checkpoint_dir, _SNN_CKPT_FILENAME),
+                        )
+                        _write_pipeline_state(checkpoint_dir, {
+                            "fingerprint": fingerprint,
+                            "completed_epochs": 0,
+                            "total_epochs": snn_epochs,
+                            "conversion_accuracy": conversion_accuracy,
+                        })
 
             if start_epoch <= snn_epochs:
                 trainer = SNNTrainer(

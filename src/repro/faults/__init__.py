@@ -21,12 +21,14 @@ Sweeps over fault rates live in :mod:`repro.experiments.fault_sweep`;
 ``python -m repro.faults.smoke`` runs the deterministic smoke check.
 """
 
+from .chaos import ChaosSpec
 from .injector import FaultInjector, inject_faults
 from .spec import FaultSpec, NeuronFaults, TransmissionFaults, WeightFaults
 from .telemetry import FAULTS_FILENAME, FaultTelemetry
 
 __all__ = [
     "FAULTS_FILENAME",
+    "ChaosSpec",
     "FaultInjector",
     "FaultSpec",
     "FaultTelemetry",

@@ -121,6 +121,7 @@ class FaultInjector:
             self.telemetry = FaultTelemetry()
         self._active = True
         try:
+            self._validate_layer_targets()
             self._inject_weight_faults()
             self._inject_neuron_faults()
             self._inject_transmission_faults()
@@ -143,6 +144,40 @@ class FaultInjector:
         return dict(self._counters)
 
     # ------------------------------------------------------------------
+    # Layer-target validation (before anything mutates)
+    # ------------------------------------------------------------------
+    def _validate_layer_targets(self) -> None:
+        """Reject specs referencing layer indices the model doesn't have.
+
+        Runs before any injection so a typo'd index raises a clear
+        error naming the layer and the valid range, instead of silently
+        injecting nothing (or failing deep inside a mutation loop).
+        """
+        wf, nf, tf = self.spec.weight, self.spec.neuron, self.spec.transmission
+        if wf.layers is not None and not wf.is_null:
+            count = len(self._weight_layers())
+            for layer in wf.layers:
+                if layer >= count:
+                    raise ValueError(
+                        f"weight fault spec targets layer {layer}, but "
+                        f"{type(self.model).__name__} has {count} weight "
+                        f"layers (valid indices 0..{count - 1})"
+                    )
+        if isinstance(self.model, SpikingNetwork):
+            neuron_count = len(list(self.model.spiking_neurons()))
+            for kind, component in (("neuron", nf), ("transmission", tf)):
+                if component.layers is None or component.is_null:
+                    continue
+                for layer in component.layers:
+                    if layer >= neuron_count:
+                        raise ValueError(
+                            f"{kind} fault spec targets spiking layer "
+                            f"{layer}, but {type(self.model).__name__} has "
+                            f"{neuron_count} spiking layers (valid indices "
+                            f"0..{neuron_count - 1})"
+                        )
+
+    # ------------------------------------------------------------------
     # Weight faults (fused-safe: pure parameter perturbation)
     # ------------------------------------------------------------------
     def _weight_layers(self) -> List[Tuple[str, Module]]:
@@ -157,6 +192,8 @@ class FaultInjector:
         if wf.is_null:
             return
         for index, (name, module) in enumerate(self._weight_layers()):
+            if wf.layers is not None and index not in wf.layers:
+                continue
             data = module.weight.data
             self._saved_params.append((data, data.copy()))
             rng = _layer_rng(self.spec.seed, _DOMAIN_WEIGHT, index)
@@ -200,6 +237,8 @@ class FaultInjector:
         if nf.is_null or not isinstance(self.model, SpikingNetwork):
             return
         for index, neuron in enumerate(self.model.spiking_neurons()):
+            if nf.layers is not None and index not in nf.layers:
+                continue
             rng = _layer_rng(self.spec.seed, _DOMAIN_NEURON, index)
             before_threshold = neuron.threshold
             before_leak = neuron.leak_value
@@ -262,6 +301,8 @@ class FaultInjector:
         if tf.is_null or not isinstance(self.model, SpikingNetwork):
             return
         for index, neuron in enumerate(self.model.spiking_neurons()):
+            if tf.layers is not None and index not in tf.layers:
+                continue
             rng = _layer_rng(self.spec.seed, _DOMAIN_TRANSMISSION, index)
             had_patch = "forward" in neuron.__dict__
             previous = neuron.__dict__.get("forward")

@@ -23,7 +23,7 @@ all, so fault-instrumented passes are bitwise-identical to clean ones.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 
 def _check_rate(name: str, value: float) -> None:
@@ -34,6 +34,31 @@ def _check_rate(name: str, value: float) -> None:
 def _check_nonneg(name: str, value: float) -> None:
     if value < 0.0:
         raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def _coerce_layers(spec, kind: str) -> None:
+    """Normalise a component spec's ``layers`` field to a sorted tuple.
+
+    ``layers=None`` targets every layer.  Indices must be non-negative
+    ints; whether they exist in a concrete model is validated by the
+    injector (which knows the model), raising an error naming the
+    offending layer.
+    """
+    layers = spec.layers
+    if layers is None:
+        return
+    coerced = []
+    for layer in layers:
+        if not isinstance(layer, (int,)) or isinstance(layer, bool):
+            raise ValueError(
+                f"{kind}.layers must contain layer indices, got {layer!r}"
+            )
+        if layer < 0:
+            raise ValueError(
+                f"{kind}.layers indices must be non-negative, got {layer}"
+            )
+        coerced.append(int(layer))
+    object.__setattr__(spec, "layers", tuple(sorted(set(coerced))))
 
 
 @dataclass(frozen=True)
@@ -49,12 +74,17 @@ class WeightFaults:
     - ``prune_rate`` — fraction of synapses dropped entirely (set to
       zero); modelled separately from ``stuck_zero_rate`` so sweeps can
       distinguish manufacturing pruning from in-field cell failure.
+    - ``layers`` — restrict the faults to these weight-layer indices
+      (the model's Conv2d/Linear layers in traversal order); ``None``
+      targets every layer.  Nonexistent indices raise a clear error at
+      injection time.
     """
 
     quant_bits: Optional[int] = None
     stuck_zero_rate: float = 0.0
     sign_flip_rate: float = 0.0
     prune_rate: float = 0.0
+    layers: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.quant_bits is not None and self.quant_bits < 2:
@@ -65,6 +95,7 @@ class WeightFaults:
         _check_rate("stuck_zero_rate", self.stuck_zero_rate)
         _check_rate("sign_flip_rate", self.sign_flip_rate)
         _check_rate("prune_rate", self.prune_rate)
+        _coerce_layers(self, "weight")
 
     @property
     def is_null(self) -> bool:
@@ -95,11 +126,13 @@ class NeuronFaults:
     dead_rate: float = 0.0
     threshold_jitter: float = 0.0
     leak_drift: float = 0.0
+    layers: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         _check_rate("dead_rate", self.dead_rate)
         _check_nonneg("threshold_jitter", self.threshold_jitter)
         _check_nonneg("leak_drift", self.leak_drift)
+        _coerce_layers(self, "neuron")
 
     @property
     def is_null(self) -> bool:
@@ -129,10 +162,12 @@ class TransmissionFaults:
 
     spike_drop_rate: float = 0.0
     frame_drop_rate: float = 0.0
+    layers: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         _check_rate("spike_drop_rate", self.spike_drop_rate)
         _check_rate("frame_drop_rate", self.frame_drop_rate)
+        _coerce_layers(self, "transmission")
 
     @property
     def is_null(self) -> bool:

@@ -64,9 +64,15 @@ _DOWN_RE = re.compile(
 # (the streaming SLO series) vary between bit-identical replays just
 # like span timings do, so they align for context only — the *breach
 # counts* and sliding accuracy those SLOs produce are what gates.
+# ``exec.*`` executor telemetry (dispatch/retry/crash/restart counts,
+# pool timings) is scheduling noise by design: a chaos run that killed
+# and replaced a worker must still diff clean against an undisturbed
+# run, because the *results* are bitwise identical.  The informational
+# env:executor.* rows (from the run registry's environment fingerprint)
+# flag cross-worker-count comparisons instead.
 _SKIP_RE = re.compile(
     r"seconds|duration_s|\.ts$|wall|span:|bench\.|memory|bytes|profile:"
-    r"|latency|staleness|throughput"
+    r"|latency|staleness|throughput|exec\."
 )
 
 
@@ -381,16 +387,77 @@ def diff_runs(
     return diff
 
 
+def _registered_executor_config(run_dir: str) -> Optional[dict]:
+    """Best-effort registry lookup of a run's executor fingerprint."""
+    import os
+
+    try:
+        from .registry import RunRegistry
+
+        target = os.path.abspath(run_dir)
+        for run in reversed(RunRegistry().runs()):
+            if run.get("run_dir") == target:
+                environment = run.get("environment") or {}
+                executor = environment.get("executor")
+                return dict(executor) if isinstance(executor, dict) else {}
+    except Exception:
+        pass
+    return None
+
+
+def _executor_env_deltas(baseline_dir: str, candidate_dir: str) -> List[Delta]:
+    """Informational rows when the runs used different executor configs.
+
+    Results are worker-count-independent by contract, but traces and
+    telemetry legitimately differ between serial and parallel runs —
+    so a cross-worker-count comparison deserves a visible (never
+    gating) flag rather than a silent alignment.
+    """
+    base = _registered_executor_config(baseline_dir)
+    cand = _registered_executor_config(candidate_dir)
+    if base is None and cand is None:
+        return []
+    base = base or {}
+    cand = cand or {}
+    deltas: List[Delta] = []
+    for key in ("workers", "start_method"):
+        base_value = base.get(key, 1 if key == "workers" else "serial")
+        cand_value = cand.get(key, 1 if key == "workers" else "serial")
+        if base_value == cand_value:
+            continue
+        numeric = isinstance(base_value, (int, float)) and isinstance(
+            cand_value, (int, float)
+        )
+        deltas.append(Delta(
+            name=f"env:executor.{key}",
+            kind="env",
+            baseline=float(base_value) if numeric else None,
+            candidate=float(cand_value) if numeric else None,
+            direction="skip",
+            significant=False,
+            regressed=False,
+            note=f"informational: {base_value} vs {cand_value}",
+        ))
+    return deltas
+
+
 def diff_run_dirs(
     baseline_dir: str,
     candidate_dir: str,
     rtol: float = DEFAULT_RTOL,
     atol: float = DEFAULT_ATOL,
 ) -> RunDiff:
-    """Load two run directories and diff them."""
-    return diff_runs(
+    """Load two run directories and diff them.
+
+    On top of the series alignment, cross-worker-count comparisons
+    (detected from the run registry's environment fingerprint) add
+    informational ``env:executor.*`` rows that never gate.
+    """
+    diff = diff_runs(
         load_run(baseline_dir), load_run(candidate_dir), rtol=rtol, atol=atol
     )
+    diff.deltas.extend(_executor_env_deltas(baseline_dir, candidate_dir))
+    return diff
 
 
 def main(argv=None) -> int:

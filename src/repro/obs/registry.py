@@ -117,7 +117,21 @@ def _environment_fingerprint() -> dict:
     # imports repro.obs and eager cross-imports would cycle.
     from ..bench import environment_fingerprint
 
-    return environment_fingerprint()
+    env = environment_fingerprint()
+    # Record the ambient parallel-executor config (worker count, start
+    # method) so obs diff can flag cross-worker-count comparisons as
+    # informational.  Results are bitwise worker-count-independent, but
+    # traces/telemetry legitimately differ between serial and parallel
+    # runs of the same experiment.
+    try:
+        from ..exec import active_executor_config
+
+        executor = active_executor_config()
+        if executor is not None:
+            env = {**env, "executor": executor}
+    except Exception:
+        pass
+    return env
 
 
 class RunRegistry:

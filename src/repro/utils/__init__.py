@@ -1,5 +1,11 @@
-"""Utility helpers: checkpointing, seeding."""
+"""Utility helpers: checkpointing, seeding, signal deferral."""
 
 from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from .interrupts import delay_interrupts
 
-__all__ = ["CheckpointError", "load_checkpoint", "save_checkpoint"]
+__all__ = [
+    "CheckpointError",
+    "delay_interrupts",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..nn import Module
 from ..snn import SpikingNetwork, SpikingNeuron
+from .interrupts import delay_interrupts
 
 _META_PREFIX = "__meta__"
 
@@ -57,14 +58,18 @@ def save_checkpoint(model: Module, path: str) -> str:
     if not path.endswith(".npz"):
         path += ".npz"
     # Temp file in the same directory so os.replace stays one atomic
-    # rename (no cross-filesystem copy window).
+    # rename (no cross-filesystem copy window).  SIGINT/SIGTERM are
+    # deferred across the write+rename so a kill can interrupt either
+    # the complete old archive or the complete new one, never a rename
+    # raced against cleanup.
     tmp_path = f"{path}.tmp-{os.getpid()}.npz"
-    try:
-        np.savez(tmp_path, **payload)
-        os.replace(tmp_path, path)
-    finally:
-        if os.path.exists(tmp_path):
-            os.remove(tmp_path)
+    with delay_interrupts():
+        try:
+            np.savez(tmp_path, **payload)
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
     return path
 
 

@@ -1,0 +1,75 @@
+"""Deferral of termination signals around critical sections.
+
+``os.replace`` makes each individual checkpoint file atomic, but a
+checkpoint is usually a *pair* of artefacts (weights archive + progress
+record): SIGTERM or Ctrl-C landing between the two leaves them
+describing different epochs, and a later resume silently continues
+from inconsistent state.  :func:`delay_interrupts` makes such a
+section signal-atomic — SIGINT/SIGTERM arriving inside the block are
+buffered and re-raised immediately after it, so the process still
+dies (or raises ``KeyboardInterrupt``) as requested, just never with
+half a checkpoint on disk.
+
+Signal handlers can only be installed from the main thread; on other
+threads the context manager is a no-op (worker threads cannot receive
+these signals directly anyway).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+__all__ = ["delay_interrupts"]
+
+_DEFAULT_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextmanager
+def delay_interrupts(
+    signals: Sequence[signal.Signals] = _DEFAULT_SIGNALS,
+) -> Iterator[None]:
+    """Buffer ``signals`` for the duration of the block, then re-deliver.
+
+    Re-delivery uses ``signal.raise_signal`` after the original
+    handlers are restored, so the deferred signal runs its *original*
+    disposition (``KeyboardInterrupt`` for SIGINT, process exit for an
+    un-handled SIGTERM) — the only change is *when*.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    pending: list = []
+    previous: dict = {}
+
+    def _defer(signum, _frame) -> None:
+        if signum not in pending:
+            pending.append(signum)
+
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, _defer)
+    except (ValueError, OSError, RuntimeError):
+        # Exotic host (no signal support / embedded interpreter):
+        # undo anything partially installed and run unprotected.
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError, RuntimeError):
+                pass
+        yield
+        return
+
+    try:
+        yield
+    finally:
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError, RuntimeError):
+                pass
+        for signum in pending:
+            signal.raise_signal(signum)

@@ -70,6 +70,79 @@ class TestFaultSpec:
         assert FaultSpec.frame_drop(0.2).transmission.frame_drop_rate == 0.2
         assert not FaultSpec.pruning(0.1).is_null
 
+    def test_layers_normalised_to_sorted_tuple(self):
+        spec = WeightFaults(prune_rate=0.1, layers=[3, 1, 3, 0])
+        assert spec.layers == (0, 1, 3)
+        assert NeuronFaults(dead_rate=0.1, layers=None).layers is None
+
+    def test_layers_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightFaults(prune_rate=0.1, layers=(-1,))
+        with pytest.raises(ValueError, match="layer indices"):
+            NeuronFaults(dead_rate=0.1, layers=("conv1",))
+        with pytest.raises(ValueError, match="layer indices"):
+            TransmissionFaults(spike_drop_rate=0.1, layers=(True,))
+
+
+class TestLayerTargeting:
+    def test_nonexistent_weight_layer_named_in_error(self, snn_setup):
+        from repro.nn import Conv2d, Linear
+
+        model, _, _ = snn_setup
+        count = sum(
+            1 for _, m in model.named_modules()
+            if isinstance(m, (Conv2d, Linear))
+        )
+        spec = FaultSpec(
+            weight=WeightFaults(prune_rate=0.5, layers=(count + 5,))
+        )
+        with pytest.raises(ValueError) as excinfo:
+            inject_faults(model, spec).__enter__()
+        message = str(excinfo.value)
+        assert f"layer {count + 5}" in message
+        assert "valid indices" in message
+
+    def test_nonexistent_neuron_layer_named_in_error(self, snn_setup):
+        _, snn, _ = snn_setup
+        spec = FaultSpec(neuron=NeuronFaults(dead_rate=0.5, layers=(99,)))
+        with pytest.raises(ValueError, match="layer 99"):
+            inject_faults(snn, spec).__enter__()
+        spec = FaultSpec(
+            transmission=TransmissionFaults(spike_drop_rate=0.5, layers=(42,))
+        )
+        with pytest.raises(ValueError, match="layer 42"):
+            inject_faults(snn, spec).__enter__()
+
+    def test_validation_happens_before_any_mutation(self, snn_setup):
+        model, _, _ = snn_setup
+        before = [p.data.copy() for p in model.parameters()]
+        spec = FaultSpec(
+            weight=WeightFaults(prune_rate=1.0, layers=(0, 999))
+        )
+        with pytest.raises(ValueError):
+            inject_faults(model, spec).__enter__()
+        for param, stored in zip(model.parameters(), before):
+            assert np.array_equal(param.data, stored)
+
+    def test_targeted_layers_restrict_injection(self, snn_setup):
+        from repro.nn import Conv2d, Linear
+
+        model, _, _ = snn_setup
+        weighted = [
+            m for _, m in model.named_modules()
+            if isinstance(m, (Conv2d, Linear))
+        ]
+        before = [m.weight.data.copy() for m in weighted]
+        spec = FaultSpec(
+            weight=WeightFaults(prune_rate=0.9, layers=(0,)), seed=3
+        )
+        with inject_faults(model, spec):
+            assert not np.array_equal(weighted[0].weight.data, before[0])
+            for module, stored in zip(weighted[1:], before[1:]):
+                assert np.array_equal(module.weight.data, stored)
+        for module, stored in zip(weighted, before):
+            assert np.array_equal(module.weight.data, stored)
+
 
 class TestInjector:
     def test_null_spec_is_bitwise_identity(self, snn_setup):
