@@ -171,6 +171,12 @@ def _quiesce_child_observability() -> None:
     is cleared too: a worker re-fanning-out (e.g. Algorithm 1 inside a
     per-seed pipeline task) would try to spawn children of a daemonic
     process.
+
+    This is also the first half of *capture* mode
+    (:func:`repro.obs.remote.install_worker_capture` re-enables the
+    state on top of the cleaned slate): the inherited health monitor,
+    profiler hooks, capture sink and metric journal are all dropped so
+    no parent file handle (shared offset!) stays reachable.
     """
     os.environ["REPRO_RUNS_DISABLE"] = "1"
     try:
@@ -187,24 +193,59 @@ def _quiesce_child_observability() -> None:
         for attr in ("_events_fp", "_trace_fp"):
             if hasattr(state, attr):
                 setattr(state, attr, None)
+        obs_core.set_capture_sink(None)
     except Exception:
         pass
     try:
+        obs_metrics.get_registry()._journal = None
         obs_metrics.reset_registry()
+    except Exception:
+        pass
+    try:
+        from ..obs import trace as obs_trace
+
+        obs_trace.reset(counter=True)
+    except Exception:
+        pass
+    try:
+        from ..obs import health as obs_health
+
+        obs_health.quiesce_forked()
+    except Exception:
+        pass
+    try:
+        from ..obs import profile as obs_profile
+
+        obs_profile.quiesce_forked()
     except Exception:
         pass
 
 
 def _worker_main(
     fn: Callable[[Any], Any],
+    slot: int,
     task_queue,
     conn,
     heartbeat_interval_s: float,
     chaos,
     initializer: Optional[Callable[..., None]],
     initargs: Tuple[Any, ...],
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> None:
     _quiesce_child_observability()
+    buffer = None
+    if telemetry is not None:
+        # The parent run is observed: replace quiescing with capture.
+        # Initializer work runs outside any task scope, so per-worker
+        # setup never enters the merged telemetry stream.
+        try:
+            from ..obs import remote as obs_remote
+
+            buffer = obs_remote.install_worker_capture(
+                obs_remote.TelemetryEnvelope.from_dict(telemetry), worker_id=slot
+            )
+        except Exception:
+            buffer = None
     if initializer is not None:
         initializer(*initargs)
 
@@ -245,15 +286,32 @@ def _worker_main(
                 os._exit(chaos.exit_code)
             if chaos.should_hang(index, attempt):
                 time.sleep(chaos.hang_seconds)
+        if buffer is not None:
+            buffer.begin_task(index, attempt)
         try:
             value = fn(payload)
         except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
             detail = f"{type(exc).__name__}: {exc}"
+            if buffer is not None:
+                _send(("telemetry", index, attempt, buffer.end_task("error")))
             if not _send(("error", index, attempt, detail, traceback.format_exc())):
                 break
         else:
+            if buffer is not None:
+                telemetry_payload = buffer.end_task("ok")
+                if chaos is not None and chaos.should_kill_after(index, attempt):
+                    # Die mid-telemetry-write: torn shard tail, no
+                    # piggyback, no result — the merge must recover
+                    # this task from the shard's intact prefix.
+                    buffer.tear_shard()
+                    os._exit(chaos.exit_code)
+                _send(("telemetry", index, attempt, telemetry_payload))
+            elif chaos is not None and chaos.should_kill_after(index, attempt):
+                os._exit(chaos.exit_code)
             if not _send(("result", index, attempt, value)):
                 break
+    if buffer is not None:
+        buffer.close()
     stop.set()
     try:
         conn.close()
@@ -303,6 +361,13 @@ class ParallelExecutor:
     chaos:
         Optional :class:`repro.faults.chaos.ChaosSpec` applied inside
         workers (ignored, with a log line, on the serial path).
+    telemetry:
+        Worker observability capture (:mod:`repro.obs.remote`).
+        ``None`` (default) captures exactly when the parent run is
+        observed at map time; ``False`` forces the quiesced PR-9
+        behaviour even for observed runs; ``True`` behaves like
+        ``None`` (capture still requires an observed run to have
+        anywhere to merge into).
     """
 
     def __init__(
@@ -319,6 +384,7 @@ class ParallelExecutor:
         backoff_max_s: float = 0.5,
         max_worker_restarts: Optional[int] = None,
         chaos=None,
+        telemetry: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -339,6 +405,7 @@ class ParallelExecutor:
             3 * self.workers if max_worker_restarts is None else int(max_worker_restarts)
         )
         self.chaos = chaos
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Introspection
@@ -360,7 +427,21 @@ class ParallelExecutor:
             "start_method": self.resolved_start_method(),
             "max_retries": self.max_retries,
             "poison_threshold": self.poison_threshold,
+            "telemetry": "auto" if self.telemetry is None else bool(self.telemetry),
         }
+
+    def _telemetry_active(self) -> bool:
+        """Capture telemetry for the next map?
+
+        Requires the parent run to be observed, and that this process
+        is not *itself* a capturing worker (a nested map inside a task
+        already streams through the enclosing task's buffer).
+        """
+        if self.telemetry is False:
+            return False
+        from ..obs import core as obs_core
+
+        return obs_core.is_enabled() and obs_core.capture_sink() is None
 
     # ------------------------------------------------------------------
     # Public API
@@ -381,22 +462,54 @@ class ParallelExecutor:
             start_method=self.resolved_start_method(),
             tasks=len(items),
         )
+        plan = None
+        if self._telemetry_active():
+            from ..obs import remote as obs_remote
+
+            plan = obs_remote.MapTelemetry(label)
+        from ..obs import trace as obs_trace
+
         started = time.monotonic()
-        if self.workers <= 1 or len(items) <= 1:
-            result = self._map_serial(fn, items, stats, initializer, initargs)
-        else:
-            method = self.resolved_start_method()
-            if method == "serial":
-                self._note_downgrade(
-                    stats,
-                    f"start method {self.start_method!r} unavailable "
-                    f"(have {multiprocessing.get_all_start_methods()})",
-                )
-                result = self._map_serial(fn, items, stats, initializer, initargs)
-            else:
-                result = self._map_parallel(fn, items, stats, method, label, initializer, initargs)
+        try:
+            with obs_trace.span(
+                "exec.map", label=label, workers=self.workers, tasks=len(items)
+            ) as dispatch_span:
+                if plan is not None:
+                    plan.set_dispatch(
+                        getattr(dispatch_span, "span_id", None),
+                        getattr(dispatch_span, "depth", 0),
+                    )
+                if self.workers <= 1 or len(items) <= 1:
+                    result = self._map_serial(
+                        fn, items, stats, initializer, initargs, plan
+                    )
+                else:
+                    method = self.resolved_start_method()
+                    if method == "serial":
+                        self._note_downgrade(
+                            stats,
+                            f"start method {self.start_method!r} unavailable "
+                            f"(have {multiprocessing.get_all_start_methods()})",
+                        )
+                        result = self._map_serial(
+                            fn, items, stats, initializer, initargs, plan
+                        )
+                    else:
+                        result = self._map_parallel(
+                            fn, items, stats, method, label, initializer, initargs, plan
+                        )
+        finally:
+            if plan is not None:
+                plan.tee_close()
         stats.duration_s = time.monotonic() - started
+        if plan is not None:
+            merged = plan.merge()
+            obs_metrics.inc("exec.telemetry_tasks_merged", merged["tasks"])
+            obs_metrics.inc("exec.telemetry_records_merged", merged["records"])
+            if merged["recovered"]:
+                obs_metrics.inc("exec.telemetry_tasks_recovered", merged["recovered"])
         self._flush_telemetry(stats, label)
+        self._surface_health(stats, result, label)
         return result
 
     def map_reduce(
@@ -424,6 +537,7 @@ class ParallelExecutor:
         stats: ExecStats,
         initializer: Optional[Callable[..., None]],
         initargs: Tuple[Any, ...],
+        plan=None,
     ) -> MapResult:
         stats.mode = "serial"
         if self.chaos is not None and not self.chaos.is_null:
@@ -439,9 +553,16 @@ class ParallelExecutor:
                 stats.dispatched += 1
                 if attempts > 1:
                     stats.retried += 1
+                # The tee scope covers exactly fn() — executor
+                # bookkeeping stays out of the canonical stream so
+                # serial and parallel captures match byte for byte.
+                if plan is not None:
+                    plan.tee_begin(index, attempts - 1)
                 try:
                     results[index] = fn(payload)
                 except Exception as exc:  # noqa: BLE001 - mirrored from workers
+                    if plan is not None:
+                        plan.tee_end("error")
                     stats.errors += 1
                     if attempts > self.max_retries:
                         failures[index] = TaskFailure(
@@ -453,6 +574,8 @@ class ParallelExecutor:
                         stats.failed += 1
                         break
                 else:
+                    if plan is not None:
+                        plan.tee_end("ok")
                     stats.completed += 1
                     break
         return MapResult(results=results, failures=failures, stats=stats)
@@ -469,17 +592,19 @@ class ParallelExecutor:
         label: str,
         initializer: Optional[Callable[..., None]],
         initargs: Tuple[Any, ...],
+        plan=None,
     ) -> MapResult:
         stats.mode = "parallel"
         try:
             ctx = multiprocessing.get_context(method)
         except ValueError as exc:
             self._note_downgrade(stats, f"get_context({method!r}) failed: {exc}")
-            return self._map_serial(fn, items, stats, initializer, initargs)
+            return self._map_serial(fn, items, stats, initializer, initargs, plan)
 
         n = len(items)
         pool_size = min(self.workers, n)
         workers: List[_Worker] = []
+        envelope = plan.envelope_dict() if plan is not None else None
 
         def _spawn(slot: int) -> _Worker:
             task_queue = ctx.SimpleQueue()
@@ -488,12 +613,14 @@ class ParallelExecutor:
                 target=_worker_main,
                 args=(
                     fn,
+                    slot,
                     task_queue,
                     child_conn,
                     self.heartbeat_interval_s,
                     self.chaos,
                     initializer,
                     initargs,
+                    envelope,
                 ),
                 daemon=True,
                 name=f"repro-exec-{label}-{slot}",
@@ -511,7 +638,7 @@ class ParallelExecutor:
             for worker in workers:
                 self._kill_worker(worker)
             self._note_downgrade(stats, f"worker spawn failed: {exc}")
-            return self._map_serial(fn, items, stats, initializer, initargs)
+            return self._map_serial(fn, items, stats, initializer, initargs, plan)
 
         results: List[Any] = [None] * n
         done: List[bool] = [False] * n
@@ -519,6 +646,7 @@ class ParallelExecutor:
         attempts = [0] * n  # dispatch count per task
         error_counts = [0] * n
         crash_counts = [0] * n
+        task_durations: Dict[Tuple[int, int], float] = {}  # telemetry-reported fn time
         pending = deque(range(n))
         delayed: List[Tuple[float, int]] = []  # (ready_at, index) heap
         restarts_used = 0
@@ -547,6 +675,7 @@ class ParallelExecutor:
                 self.backoff_max_s,
                 self.backoff_base_s * (2 ** max(0, attempts[index] - 1)),
             )
+            obs_metrics.inc("exec.backoff_total_s", delay)
             heapq.heappush(delayed, (time.monotonic() + delay, index))
 
         def _handle_worker_loss(worker: _Worker, kind: str, detail: str) -> None:
@@ -557,6 +686,7 @@ class ParallelExecutor:
             self._kill_worker(worker)
             stats.crashes += 1
             obs_metrics.inc("exec.worker_crashes")
+            obs_metrics.inc("exec.worker_failures", worker=worker.slot)
             if kind == "timeout":
                 stats.timeouts += 1
             in_flight = worker.busy
@@ -660,14 +790,34 @@ class ParallelExecutor:
                         )
                     elif kind == "ready":
                         worker.last_beat = time.monotonic()
+                    elif kind == "telemetry":
+                        _, index, attempt, telemetry_payload = message
+                        if plan is not None:
+                            plan.offer(telemetry_payload)
+                            if isinstance(telemetry_payload, dict):
+                                duration = telemetry_payload.get("duration_s")
+                                if isinstance(duration, (int, float)):
+                                    task_durations[(index, attempt)] = float(duration)
                     elif kind == "result":
                         _, index, attempt, value = message
                         _record_result(index, value)
                         obs_metrics.inc("exec.tasks_completed")
+                        obs_metrics.inc("exec.worker_tasks", worker=worker.slot)
+                        duration = task_durations.pop((index, attempt), None)
+                        if duration is not None:
+                            # Queue wait = time between dispatch and
+                            # result arrival not spent inside fn().
+                            elapsed = time.monotonic() - worker.dispatched_at
+                            obs_metrics.observe(
+                                "exec.queue_wait_s", max(0.0, elapsed - duration)
+                            )
+                            obs_metrics.observe("exec.task_duration_s", duration)
                         if worker.busy == (index, attempt):
                             worker.busy = None
                     elif kind == "error":
                         _, index, attempt, detail, _tb = message
+                        task_durations.pop((index, attempt), None)
+                        obs_metrics.inc("exec.worker_failures", worker=worker.slot)
                         if worker.busy == (index, attempt):
                             worker.busy = None
                         if not done[index] and index not in failures:
@@ -739,9 +889,13 @@ class ParallelExecutor:
                         continue
                     stats.serial_fallback_tasks += 1
                     stats.dispatched += 1
+                    if plan is not None:
+                        plan.tee_begin(index, attempts[index])
                     try:
                         value = fn(items[index])
                     except Exception as exc:  # noqa: BLE001
+                        if plan is not None:
+                            plan.tee_end("error")
                         stats.errors += 1
                         _settle_failure(
                             TaskFailure(
@@ -752,6 +906,8 @@ class ParallelExecutor:
                             )
                         )
                     else:
+                        if plan is not None:
+                            plan.tee_end("ok")
                         _record_result(index, value)
                 break
 
@@ -815,5 +971,33 @@ class ParallelExecutor:
                 obs_metrics.inc("exec.serial_maps")
             else:
                 obs_metrics.inc("exec.parallel_maps")
+        except Exception:
+            pass
+
+    def _surface_health(self, stats: ExecStats, result: MapResult, label: str) -> None:
+        """Surface terminal failures/crashes/quarantines as health
+        alerts (``alerts.jsonl``) when a monitor is installed — i.e.
+        for observed runs.  Once per pathological stretch: a clean map
+        under the same label re-arms each rule."""
+        try:
+            from ..obs import health as obs_health
+
+            monitor = obs_health.active()
+            if monitor is None:
+                return
+            plain_failures = sum(
+                1 for f in result.failures.values() if f.kind == "error"
+            )
+            detail = "; ".join(
+                f"task {f.index}: {f.kind} ({f.message})"
+                for f in sorted(result.failures.values(), key=lambda f: f.index)[:4]
+            )
+            monitor.observe_exec(
+                label,
+                failures=plain_failures,
+                crashes=stats.crashes,
+                quarantined=stats.quarantined,
+                detail=detail or None,
+            )
         except Exception:
             pass

@@ -163,7 +163,8 @@ def main(argv=None) -> int:
         clear_context_cache()
         clear_pipeline_cache()
         for name in ("trace.jsonl", "events.jsonl", "metrics.json",
-                     "drift.jsonl", "faults.jsonl", "alerts.jsonl"):
+                     "drift.jsonl", "faults.jsonl", "alerts.jsonl",
+                     "worker_telemetry.jsonl"):
             path = os.path.join(run_dir, name)
             if os.path.exists(path):
                 os.remove(path)

@@ -88,6 +88,10 @@ def main(argv=None) -> int:
                              "multiseed, Algorithm 1's per-layer search) "
                              "over N worker processes; results are "
                              "bitwise identical to --workers 1")
+    parser.add_argument("--no-worker-telemetry", action="store_true",
+                        help="keep worker observability quiesced even under "
+                             "--trace (no worker_telemetry.jsonl, no "
+                             "cross-process spans)")
     parser.add_argument("--no-save", action="store_true",
                         help="skip writing results/<experiment>.json")
     parser.add_argument("--trace", metavar="RUN_DIR", default=None,
@@ -113,7 +117,12 @@ def main(argv=None) -> int:
     # cross-worker-count diffs can be flagged.
     from ..exec import ParallelExecutor, executor_scope
 
-    executor = ParallelExecutor(workers=args.workers) if args.workers > 1 else None
+    telemetry = False if args.no_worker_telemetry else None
+    executor = (
+        ParallelExecutor(workers=args.workers, telemetry=telemetry)
+        if args.workers > 1
+        else None
+    )
     with executor_scope(executor):
         if args.trace:
             obs_configure(

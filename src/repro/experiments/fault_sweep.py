@@ -102,12 +102,17 @@ def _sweep_worker_init(handles: Dict[str, object], config: ExperimentConfig) -> 
 
 def _worker_test_loader():
     from ..data import DataLoader, Normalize
+    from ..obs.core import suspend_capture
     from .context import _build_dataset
 
     state = _WORKER_STATE
     if state["data"] is None:
-        dataset = _build_dataset(state["config"])
-        mean, std = dataset.channel_stats()
+        # The lazy dataset build happens once per worker, inside whatever
+        # task got scheduled first — suspend worker-telemetry capture so
+        # the canonical per-task stream stays worker-count-independent.
+        with suspend_capture():
+            dataset = _build_dataset(state["config"])
+            mean, std = dataset.channel_stats()
         state["data"] = (dataset, Normalize(mean, std))
     dataset, normalize = state["data"]
     # Same construction as ExperimentContext.test_loader(): fresh
@@ -173,9 +178,11 @@ def run_fault_sweep(
     are bitwise identical to the serial sweep for any worker count.
     Quarantined cells (a genuinely poisonous task) surface as ``None``
     entries with ``status="partial"`` and a ``failures`` list instead
-    of losing the whole sweep.  Per-layer fault telemetry events are
-    recorded by the serial path only (workers run with observability
-    disabled).
+    of losing the whole sweep.  Under an observed run, worker-side
+    fault telemetry (events, metrics, spans, per-layer fault records)
+    is captured in each worker and merged deterministically into the
+    parent's artefacts (see :mod:`repro.obs.remote`); unobserved runs
+    keep workers fully quiesced.
     """
     scale = get_scale(scale_name)
     config = ExperimentConfig(

@@ -15,6 +15,11 @@ function executes:
   supervisor's point of view.
 * ``hang``  — the worker sleeps ``hang_seconds`` before running the
   task, exercising per-task timeouts and stale-heartbeat detection.
+* ``kill_after`` — the worker dies *after* the task function returns
+  but before its result (and telemetry piggyback) is sent; with worker
+  telemetry capture enabled it additionally leaves a deliberately torn
+  half-record at its shard tail, modelling a worker killed
+  mid-telemetry-write for the degraded-merge tests.
 
 A task listed with ``attempts >= poison_threshold`` consecutive kills
 becomes a poison task and must end up quarantined, not retried forever.
@@ -51,12 +56,14 @@ class ChaosSpec:
 
     kill: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
     hang: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
+    kill_after: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
     exit_code: int = 139  # mimic SIGSEGV's shell status by default
     hang_seconds: float = 3600.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kill", _freeze_pairs(self.kill))
         object.__setattr__(self, "hang", _freeze_pairs(self.hang))
+        object.__setattr__(self, "kill_after", _freeze_pairs(self.kill_after))
         if self.hang_seconds <= 0:
             raise ValueError("hang_seconds must be positive")
 
@@ -73,6 +80,14 @@ class ChaosSpec:
         """Hang the worker running ``index`` on its first ``attempts`` tries."""
         return cls(hang=frozenset((index, a) for a in range(attempts)), **kwargs)
 
+    @classmethod
+    def kill_task_after(cls, index: int, attempts: int = 1, **kwargs) -> "ChaosSpec":
+        """Kill the worker running ``index`` right after the task body
+        completes (mid-telemetry-write) on its first ``attempts`` tries."""
+        return cls(
+            kill_after=frozenset((index, a) for a in range(attempts)), **kwargs
+        )
+
     # ------------------------------------------------------------------
     # Queries (called in the worker, right before the task function)
     # ------------------------------------------------------------------
@@ -82,14 +97,18 @@ class ChaosSpec:
     def should_hang(self, index: int, attempt: int) -> bool:
         return (int(index), int(attempt)) in self.hang
 
+    def should_kill_after(self, index: int, attempt: int) -> bool:
+        return (int(index), int(attempt)) in self.kill_after
+
     @property
     def is_null(self) -> bool:
-        return not self.kill and not self.hang
+        return not self.kill and not self.hang and not self.kill_after
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "kill": sorted(self.kill),
             "hang": sorted(self.hang),
+            "kill_after": sorted(self.kill_after),
             "exit_code": self.exit_code,
             "hang_seconds": self.hang_seconds,
         }
@@ -99,6 +118,7 @@ class ChaosSpec:
         return cls(
             kill=frozenset(tuple(p) for p in payload.get("kill", ())),
             hang=frozenset(tuple(p) for p in payload.get("hang", ())),
+            kill_after=frozenset(tuple(p) for p in payload.get("kill_after", ())),
             exit_code=int(payload.get("exit_code", 139)),
             hang_seconds=float(payload.get("hang_seconds", 3600.0)),
         )

@@ -53,6 +53,9 @@ ENV_DISABLE_VAR = "REPRO_RUNS_DISABLE"
 DEFAULT_ROOT = "runs"
 
 #: Artefact files a run directory may contain (the inventory scan).
+#: Entries containing ``*`` are glob patterns — ``worker-<id>.jsonl``
+#: are the per-worker telemetry shards a parallel observed run leaves
+#: beside the merged ``worker_telemetry.jsonl`` stream.
 KNOWN_ARTIFACTS = (
     "events.jsonl",
     "trace.jsonl",
@@ -67,6 +70,8 @@ KNOWN_ARTIFACTS = (
     "stream_meta.json",
     "model.npz",
     "canary.json",
+    "worker_telemetry.jsonl",
+    "worker-*.jsonl",
 )
 
 
@@ -101,13 +106,31 @@ def config_fingerprint(mapping: dict) -> str:
 
 def artifact_inventory(run_dir: str) -> Dict[str, int]:
     """``{artefact filename: size in bytes}`` for known files present."""
+    import fnmatch
+
     inventory: Dict[str, int] = {}
+    patterns = [name for name in KNOWN_ARTIFACTS if "*" in name]
     for name in KNOWN_ARTIFACTS:
+        if "*" in name:
+            continue
         path = os.path.join(run_dir, name)
         try:
             inventory[name] = os.path.getsize(path)
         except OSError:
             continue
+    if patterns:
+        try:
+            entries = sorted(os.listdir(run_dir))
+        except OSError:
+            entries = []
+        for entry in entries:
+            if entry in inventory:
+                continue
+            if any(fnmatch.fnmatch(entry, pattern) for pattern in patterns):
+                try:
+                    inventory[entry] = os.path.getsize(os.path.join(run_dir, entry))
+                except OSError:
+                    continue
     return inventory
 
 
